@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one figure of the paper, prints the corresponding
+data table and writes it to ``results/<name>.txt`` so that the benchmark run
+doubles as the experiment report referenced by ``EXPERIMENTS.md``.
+
+Simulation results are memoised process-wide (several figures are different
+views of the same sweep), so the suite never repeats a simulation.  Set
+``REPRO_BENCH_PROFILE=paper`` for the full 53-node, four-seed configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit_report(name: str, figures: Iterable) -> str:
+    """Print every figure's table and persist them under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    blocks = []
+    for figure in figures:
+        blocks.append(figure.report())
+    text = "\n\n".join(blocks) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active experiment profile (quick by default)."""
+    from repro.experiments import active_profile
+
+    return active_profile()

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the accuracy claim of Section 7.1 (~99% of sensors
+converge to the correct answer; errors attributed to dropped packets)."""
+
+from conftest import emit_report
+
+from repro.experiments import run_accuracy_experiment
+
+
+def test_bench_accuracy(benchmark, profile):
+    figure = benchmark.pedantic(
+        run_accuracy_experiment,
+        kwargs={"window": profile.window_sizes[0]},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("accuracy", [figure])
+
+    lossless = 0  # index of loss probability 0.0
+    # Without packet loss the exact algorithms are exact everywhere and the
+    # semi-global heuristic is right for the vast majority of sensors.
+    assert figure.series_for("Global-NN")[lossless] == 1.0
+    assert figure.series_for("Global-KNN")[lossless] == 1.0
+    assert figure.series_for("Centralized")[lossless] == 1.0
+    assert figure.series_for("Semi-global, epsilon=1")[lossless] >= 0.75
+    assert figure.series_for("Semi-global, epsilon=2")[lossless] >= 0.75
+    # With loss (and no retransmissions) accuracy may degrade but a majority
+    # of sensors still converge to the correct answer.
+    lossy = len(figure.x_values) - 1
+    assert figure.series_for("Global-NN")[lossy] >= 0.5

@@ -1,0 +1,23 @@
+"""Benchmark regenerating the Section 5.1 worked example: the distributed
+protocol transmits a handful of points where naive centralisation transmits
+(at least) the smaller of the two datasets."""
+
+from conftest import emit_report
+
+from repro.experiments import run_example51
+
+
+def test_bench_example51(benchmark):
+    figure = benchmark.pedantic(run_example51, rounds=1, iterations=1)
+    emit_report("example51", [figure])
+
+    distributed = figure.series_for("distributed (points sent)")
+    centralised = figure.series_for("centralised on one sensor (points sent)")
+    correct = figure.series_for("both sensors correct")
+    assert all(flag == 1.0 for flag in correct)
+    # The distributed cost stays (far) below centralisation and does not grow
+    # with the dataset size, while the centralised cost does.
+    for d, c in zip(distributed, centralised):
+        assert d < c
+    assert centralised[-1] > centralised[0]
+    assert distributed[-1] <= distributed[0] + 2

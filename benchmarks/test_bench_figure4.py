@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 4: TX/RX energy per round vs. window size
+for global outlier detection (Centralized, Global-NN, Global-KNN)."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure4
+
+
+def test_bench_figure4(benchmark, profile):
+    tx, rx = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    emit_report("figure4", [tx, rx])
+
+    windows = tx.x_values
+    largest = len(windows) - 1
+    # Shape checks mirroring the paper's observations: the centralized
+    # baseline is the most expensive configuration at the largest window, and
+    # Global-NN's cost does not grow as the window grows.
+    assert tx.series_for("Centralized")[largest] > tx.series_for("Global-NN")[largest]
+    assert rx.series_for("Centralized")[largest] > rx.series_for("Global-KNN")[largest]
+    assert tx.series_for("Global-NN")[largest] <= tx.series_for("Global-NN")[0] * 1.25

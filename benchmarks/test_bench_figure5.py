@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 5: average / minimum / maximum total node
+energy vs. window size for global outlier detection."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure5
+
+
+def test_bench_figure5(benchmark, profile):
+    average, minimum, maximum = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    emit_report("figure5", [average, minimum, maximum])
+
+    largest = len(average.x_values) - 1
+    # The centralized baseline's average node energy exceeds Global-NN's at
+    # the largest window, and its max-min spread is the widest.
+    assert (
+        average.series_for("Centralized")[largest]
+        > average.series_for("Global-NN")[largest]
+    )
+    central_spread = (
+        maximum.series_for("Centralized")[largest]
+        - minimum.series_for("Centralized")[largest]
+    )
+    nn_spread = (
+        maximum.series_for("Global-NN")[largest]
+        - minimum.series_for("Global-NN")[largest]
+    )
+    assert central_spread > nn_spread

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 6: per-node energy normalised by the
+network average, per algorithm, for selected window sizes."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark, profile):
+    results = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    emit_report("figure6", results)
+
+    # In every reported window size the centralized baseline (algorithm index
+    # 0 -- see the notes line) has the largest normalised maximum: the
+    # collection point's neighborhood is its hot spot.
+    for figure in results:
+        maxima = figure.series_for("max")
+        assert maxima[0] == max(maxima)
+        # Normalised minima never exceed 1, maxima never fall below 1.
+        assert all(m <= 1.0 + 1e-9 for m in figure.series_for("min"))
+        assert all(m >= 1.0 - 1e-9 for m in maxima)

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 7: TX/RX energy per round vs. window size
+for semi-global (localized) detection with the NN ranking function."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure7
+
+
+def test_bench_figure7(benchmark, profile):
+    tx, rx = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    emit_report("figure7", [tx, rx])
+
+    for figure in (tx, rx):
+        for index in range(len(figure.x_values)):
+            centralized = figure.series_for("Centralized")[index]
+            # Every semi-global configuration is cheaper than centralizing.
+            for epsilon in profile.hop_diameters:
+                label = f"Semi-global, epsilon={epsilon}"
+                assert figure.series_for(label)[index] < centralized
+        # Energy grows with the spatial extent epsilon (at the largest w).
+        last = len(figure.x_values) - 1
+        eps = sorted(profile.hop_diameters)
+        series_at_last = [
+            figure.series_for(f"Semi-global, epsilon={e}")[last] for e in eps
+        ]
+        assert series_at_last[0] <= series_at_last[-1]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 8: TX/RX energy per round vs. window size
+for semi-global (localized) detection with the KNN ranking function."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure8
+
+
+def test_bench_figure8(benchmark, profile):
+    tx, rx = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    emit_report("figure8", [tx, rx])
+
+    for figure in (tx, rx):
+        for index in range(len(figure.x_values)):
+            centralized = figure.series_for("Centralized")[index]
+            for epsilon in profile.hop_diameters:
+                label = f"Semi-global, epsilon={epsilon}"
+                assert figure.series_for(label)[index] < centralized

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 9: TX/RX energy per round vs. the number of
+reported outliers n, for semi-global (localized) KNN detection."""
+
+from conftest import emit_report
+
+from repro.experiments import run_figure9
+
+
+def test_bench_figure9(benchmark, profile):
+    tx, rx = benchmark.pedantic(
+        run_figure9, kwargs={"window": profile.window_sizes[-1]}, rounds=1, iterations=1
+    )
+    emit_report("figure9", [tx, rx])
+
+    for figure in (tx, rx):
+        counts = figure.x_values
+        for epsilon in profile.hop_diameters:
+            label = f"Semi-global, epsilon={epsilon}"
+            series = figure.series_for(label)
+            # Energy grows with the number of reported outliers (weakly: the
+            # smallest n is never more expensive than the largest n).
+            assert series[0] <= series[-1] * 1.05
+            # And stays below the centralized baseline everywhere.
+            for index in range(len(counts)):
+                assert series[index] < figure.series_for("Centralized")[index]

@@ -1,0 +1,25 @@
+"""Benchmark regenerating the Section 8 traffic-concentration claim: under
+the centralized baseline the collection point's neighborhood consumes a
+disproportionate share of the energy; in-network detection balances it."""
+
+from conftest import emit_report
+
+from repro.experiments import run_imbalance_experiment
+
+
+def test_bench_imbalance(benchmark, profile):
+    figure = benchmark.pedantic(
+        run_imbalance_experiment,
+        kwargs={"window": profile.window_sizes[0]},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("imbalance", [figure])
+
+    sink_ratio = figure.series_for("sink-neighborhood energy / network average")
+    max_ratio = figure.series_for("hottest node energy / network average")
+    # Index 0 is the centralized baseline (see the notes line); it is more
+    # concentrated than both distributed configurations on both measures.
+    assert sink_ratio[0] > sink_ratio[1]
+    assert sink_ratio[0] > sink_ratio[2]
+    assert max_ratio[0] > max_ratio[1]

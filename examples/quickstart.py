@@ -1,0 +1,67 @@
+"""Quickstart: distributed global outlier detection over an in-memory network.
+
+Four sensors each hold a small window of (temperature, x, y) readings; one of
+them recorded a spurious spike.  Every sensor runs the paper's global
+detection protocol over a loss-free in-memory transport and converges to the
+same, exact top-2 outliers -- while exchanging far fewer points than
+centralising all the data would require.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AverageKNNDistance,
+    GlobalOutlierDetector,
+    InMemoryNetwork,
+    OutlierQuery,
+    make_point,
+)
+from repro.core import global_reference
+
+
+def main() -> None:
+    # Every sensor agrees on the outlier definition: average distance to the
+    # 3 nearest neighbors, report the top 2.
+    query = OutlierQuery(AverageKNNDistance(k=3), n=2)
+
+    # Four sensors in a line: 0 - 1 - 2 - 3 (single-hop links only).
+    adjacency = {0: [1], 1: [2], 2: [3], 3: []}
+    detectors = {i: GlobalOutlierDetector(i, query) for i in adjacency}
+
+    # Each sensor samples five readings around 21 degrees; sensor 2 recorded a
+    # 40-degree spike (a faulty reading) and sensor 0 a 5-degree one.
+    readings = {
+        0: [21.1, 20.9, 21.3, 5.0, 21.0],
+        1: [21.4, 21.2, 20.8, 21.1, 21.3],
+        2: [20.7, 40.2, 21.0, 21.2, 20.9],
+        3: [21.0, 21.1, 21.2, 20.8, 21.4],
+    }
+    datasets = {
+        node: [
+            make_point([temperature, float(node) * 5.0, 0.0], origin=node, epoch=epoch)
+            for epoch, temperature in enumerate(values)
+        ]
+        for node, values in readings.items()
+    }
+
+    network = InMemoryNetwork(detectors, adjacency)
+    network.inject_local_data(datasets)
+    deliveries = network.run_to_quiescence()
+
+    print("protocol quiesced after", deliveries, "packet deliveries")
+    print("data points put on the air:", network.log.point_transmissions,
+          "(out of", sum(len(v) for v in datasets.values()), "total readings)")
+    print("all sensors agree:", network.estimates_agree())
+
+    reference = global_reference(query, datasets)
+    print("\nreference answer (omniscient):")
+    for point in reference:
+        print(f"  temperature={point.values[0]:5.1f}  from sensor {point.origin}")
+
+    print("\nsensor 3's local estimate after convergence:")
+    for point in detectors[3].estimate():
+        print(f"  temperature={point.values[0]:5.1f}  from sensor {point.origin}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this project targets (offline lab machines) often lacks the
+``wheel`` package required for PEP 660 editable installs, so a classic
+``setup.py`` is provided to let ``pip install -e .`` fall back to the legacy
+develop-mode code path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro: in-network outlier detection for wireless sensor networks.
+
+A production-quality reproduction of Branch, Giannella, Szymanski, Wolff and
+Kargupta, *"In-Network Outlier Detection in Wireless Sensor Networks"*
+(ICDCS 2006 / extended journal version), including:
+
+* the generic distributed outlier-detection protocol (global and semi-global
+  variants) as a reusable, transport-agnostic library (:mod:`repro.core`);
+* a discrete-event wireless-sensor-network simulator with a broadcast MAC,
+  free-space propagation, AODV routing and a Crossbow-mote energy model
+  (:mod:`repro.simulator`, :mod:`repro.network`, :mod:`repro.routing`);
+* a centralized baseline (:mod:`repro.baselines`);
+* an Intel-Lab-style synthetic sensor-data generator (:mod:`repro.datasets`);
+* the application layer binding detectors to simulated sensors and the
+  scenario runner (:mod:`repro.wsn`);
+* analysis utilities and the experiment harness regenerating every figure of
+  the paper's evaluation (:mod:`repro.analysis`, :mod:`repro.experiments`).
+"""
+
+from .core import (
+    AverageKNNDistance,
+    DataPoint,
+    DetectionConfig,
+    GlobalOutlierDetector,
+    InMemoryNetwork,
+    KthNearestNeighborDistance,
+    NearestNeighborDistance,
+    NeighborCountWithinRadius,
+    OutlierMessage,
+    OutlierQuery,
+    SemiGlobalOutlierDetector,
+    SlidingWindow,
+    make_point,
+    top_n_outliers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataPoint",
+    "make_point",
+    "OutlierQuery",
+    "top_n_outliers",
+    "NearestNeighborDistance",
+    "KthNearestNeighborDistance",
+    "AverageKNNDistance",
+    "NeighborCountWithinRadius",
+    "GlobalOutlierDetector",
+    "SemiGlobalOutlierDetector",
+    "OutlierMessage",
+    "SlidingWindow",
+    "InMemoryNetwork",
+    "DetectionConfig",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: accuracy metrics, energy aggregation, report tables."""
+
+from .accuracy import AccuracyReport, compare_estimates, jaccard, normalise
+from .energy_stats import EnergySummary, aggregate_energy, traffic_imbalance
+from .tables import format_series_table, format_table
+
+__all__ = [
+    "AccuracyReport",
+    "compare_estimates",
+    "jaccard",
+    "normalise",
+    "EnergySummary",
+    "aggregate_energy",
+    "traffic_imbalance",
+    "format_table",
+    "format_series_table",
+]

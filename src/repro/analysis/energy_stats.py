@@ -1,0 +1,105 @@
+"""Cross-run energy aggregation and traffic-imbalance analysis.
+
+The paper's figures average each configuration over four simulation
+repetitions with different seeds; :func:`aggregate_energy` reproduces that
+averaging.  :func:`traffic_imbalance` quantifies the hot-spot effect the
+conclusion section describes (the sink's neighborhood carrying a traffic
+density tens of times the network average under the centralized scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..core.errors import ExperimentError
+from ..network.stats import EnergyReport
+from ..network.topology import Topology
+
+__all__ = ["EnergySummary", "aggregate_energy", "traffic_imbalance"]
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Seed-averaged energy figures for one configuration.
+
+    All per-round quantities are "average joules per node per sampling
+    round", the unit of the paper's Figures 4 and 7-9; the min/avg/max node
+    totals are whole-run joules as in Figure 5.
+    """
+
+    runs: int
+    avg_tx_per_round: float
+    avg_rx_per_round: float
+    avg_total_per_round: float
+    min_node_total: float
+    avg_node_total: float
+    max_node_total: float
+
+    @property
+    def normalised_min(self) -> float:
+        return self.min_node_total / self.avg_node_total if self.avg_node_total else 0.0
+
+    @property
+    def normalised_max(self) -> float:
+        return self.max_node_total / self.avg_node_total if self.avg_node_total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": float(self.runs),
+            "avg_tx_per_round": self.avg_tx_per_round,
+            "avg_rx_per_round": self.avg_rx_per_round,
+            "avg_total_per_round": self.avg_total_per_round,
+            "min_node_total": self.min_node_total,
+            "avg_node_total": self.avg_node_total,
+            "max_node_total": self.max_node_total,
+            "normalised_min": self.normalised_min,
+            "normalised_max": self.normalised_max,
+        }
+
+
+def aggregate_energy(reports: Sequence[EnergyReport]) -> EnergySummary:
+    """Average the per-run energy figures over repetitions."""
+    if not reports:
+        raise ExperimentError("aggregate_energy needs at least one report")
+    count = len(reports)
+    return EnergySummary(
+        runs=count,
+        avg_tx_per_round=sum(r.average_per_node_per_round("tx_joules") for r in reports) / count,
+        avg_rx_per_round=sum(r.average_per_node_per_round("rx_joules") for r in reports) / count,
+        avg_total_per_round=sum(
+            r.average_per_node_per_round("total_joules") for r in reports
+        ) / count,
+        min_node_total=sum(r.minimum_node_total() for r in reports) / count,
+        avg_node_total=sum(r.average_per_node("total_joules") for r in reports) / count,
+        max_node_total=sum(r.maximum_node_total() for r in reports) / count,
+    )
+
+
+def traffic_imbalance(
+    report: EnergyReport,
+    topology: Topology,
+    sink_id: int,
+) -> Dict[str, float]:
+    """How concentrated the energy expenditure is around the sink.
+
+    Returns the ratio of the sink-neighborhood's average per-node energy to
+    the network-wide average, the overall max/avg ratio, and the identity of
+    the hottest node.  Under the centralized baseline the sink's neighborhood
+    relays every window of every sensor, so these ratios are large; under the
+    distributed algorithms they stay near one.
+    """
+    by_node = report.by_node()
+    if sink_id not in by_node:
+        raise ExperimentError(f"sink {sink_id} not present in the energy report")
+    neighborhood = {sink_id} | topology.neighbors(sink_id)
+    hot_values = [by_node[n].total_joules for n in neighborhood if n in by_node]
+    average = report.average_per_node("total_joules")
+    hot_average = sum(hot_values) / len(hot_values)
+    hottest = report.hottest_node()
+    return {
+        "sink_neighborhood_ratio": hot_average / average if average else 0.0,
+        "max_over_avg": hottest.total_joules / average if average else 0.0,
+        "hottest_node": float(hottest.node_id),
+        "sink_neighborhood_size": float(len(hot_values)),
+    }

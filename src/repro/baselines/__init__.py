@@ -1,0 +1,5 @@
+"""Baseline algorithms the paper compares against."""
+
+from .centralized import CentralizedAggregator
+
+__all__ = ["CentralizedAggregator"]

@@ -1,0 +1,70 @@
+"""Centralized outlier detection (the paper's comparison baseline).
+
+In the centralized configuration every sensor periodically ships its entire
+sliding-window contents to a single collection point (the *sink*), which
+computes the top-n outliers over the union of all windows and sends the
+result back to the sensors.  The transport (multi-hop AODV routing with
+end-to-end acknowledgements) lives in :mod:`repro.wsn.centralized_app`; this
+module holds the transport-free aggregation logic so it can also be used as
+an offline reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.outliers import OutlierQuery
+from ..core.points import DataPoint
+
+__all__ = ["CentralizedAggregator"]
+
+
+class CentralizedAggregator:
+    """Sink-side state of the centralized baseline.
+
+    The aggregator keeps the most recent window reported by every sensor and
+    recomputes the global outlier set on demand.
+    """
+
+    def __init__(self, query: OutlierQuery) -> None:
+        self.query = query
+        self._windows: Dict[int, Set[DataPoint]] = {}
+        self.updates_received = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_window(self, node_id: int, points: Iterable[DataPoint]) -> None:
+        """Replace the stored window of ``node_id`` with ``points``."""
+        self._windows[int(node_id)] = {p for p in points}
+        self.updates_received += 1
+
+    def forget(self, node_id: int) -> None:
+        """Drop a sensor's contribution (e.g. when it leaves the network)."""
+        self._windows.pop(int(node_id), None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def reporting_nodes(self) -> List[int]:
+        """Sensors that have reported at least one window."""
+        return sorted(self._windows)
+
+    def union(self) -> Set[DataPoint]:
+        """The union of the most recent windows of every reporting sensor."""
+        result: Set[DataPoint] = set()
+        for points in self._windows.values():
+            result |= points
+        return result
+
+    def window_of(self, node_id: int) -> Set[DataPoint]:
+        return set(self._windows.get(int(node_id), set()))
+
+    def compute_outliers(self) -> List[DataPoint]:
+        """``O_n`` over the union of all reported windows (ordered)."""
+        return self.query.outliers(self.union())
+
+    def total_points(self) -> int:
+        """Number of distinct points currently known to the sink."""
+        return len(self.union())

@@ -1,0 +1,121 @@
+"""Command-line interface.
+
+``repro-wsn`` exposes the two things a user most often wants without writing
+code: running a single simulated scenario and regenerating one of the paper's
+figures.
+
+Examples
+--------
+Run one scenario and print its summary::
+
+    repro-wsn run --algorithm global --ranking nn --nodes 16 --rounds 15 -w 10
+
+Regenerate a figure (text table written to stdout)::
+
+    repro-wsn figure 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import Algorithm, DetectionConfig
+from .wsn.runner import run_scenario
+from .wsn.scenario import ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wsn",
+        description="In-network outlier detection for WSNs (Branch et al. reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulated scenario")
+    run.add_argument("--algorithm", choices=Algorithm.ALL, default=Algorithm.GLOBAL)
+    run.add_argument("--ranking", choices=["nn", "knn"], default="nn")
+    run.add_argument("--nodes", type=int, default=16)
+    run.add_argument("--rounds", type=int, default=15)
+    run.add_argument("-w", "--window", type=int, default=10)
+    run.add_argument("-n", "--outliers", type=int, default=4)
+    run.add_argument("-k", type=int, default=4)
+    run.add_argument("--epsilon", type=int, default=1, help="hop diameter (semi-global)")
+    run.add_argument("--loss", type=float, default=0.0, help="packet loss probability")
+    run.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a figure of the paper")
+    figure.add_argument(
+        "number",
+        choices=["4", "5", "6", "7", "8", "9", "accuracy", "example51", "imbalance"],
+        help="figure number or named experiment",
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    detection = DetectionConfig(
+        algorithm=args.algorithm,
+        ranking=args.ranking,
+        n_outliers=args.outliers,
+        k=args.k,
+        window_length=args.window,
+        hop_diameter=args.epsilon,
+    )
+    scenario = ScenarioConfig(
+        detection=detection,
+        node_count=args.nodes,
+        rounds=args.rounds,
+        loss_probability=args.loss,
+        seed=args.seed,
+    )
+    result = run_scenario(scenario)
+    print(f"scenario: {scenario.label()}  nodes={args.nodes} rounds={args.rounds} w={args.window}")
+    for key, value in result.summary().items():
+        print(f"  {key:24s} {value:.6g}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro-wsn run` stays snappy.
+    from . import experiments
+
+    number = args.number
+    if number == "4":
+        outputs = experiments.run_figure4()
+    elif number == "5":
+        outputs = experiments.run_figure5()
+    elif number == "6":
+        outputs = experiments.run_figure6()
+    elif number == "7":
+        outputs = experiments.run_figure7()
+    elif number == "8":
+        outputs = experiments.run_figure8()
+    elif number == "9":
+        outputs = experiments.run_figure9()
+    elif number == "accuracy":
+        outputs = (experiments.run_accuracy_experiment(),)
+    elif number == "example51":
+        outputs = (experiments.run_example51(),)
+    else:
+        outputs = (experiments.run_imbalance_experiment(),)
+    for figure in outputs:
+        print(figure.report())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-wsn`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_figure(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

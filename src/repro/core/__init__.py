@@ -1,0 +1,121 @@
+"""Core library: the paper's outlier-detection model and distributed
+protocols, free of any simulation concerns.
+
+The public surface re-exported here is everything a downstream user needs to
+run in-network outlier detection over their own transport:
+
+* data model: :class:`DataPoint`, :func:`make_point`, :func:`distance`;
+* ranking functions: :class:`NearestNeighborDistance`,
+  :class:`KthNearestNeighborDistance`, :class:`AverageKNNDistance`,
+  :class:`NeighborCountWithinRadius`;
+* queries and reference answers: :class:`OutlierQuery`,
+  :func:`top_n_outliers`, :func:`global_reference`,
+  :func:`semi_global_reference`;
+* the distributed detectors: :class:`GlobalOutlierDetector`,
+  :class:`SemiGlobalOutlierDetector` and their shared
+  :class:`OutlierMessage` packet type;
+* supporting pieces: :class:`SlidingWindow`, :class:`DetectionConfig`,
+  :class:`InMemoryNetwork`.
+"""
+
+from .config import Algorithm, DetectionConfig
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    ExperimentError,
+    ProtocolError,
+    RankingError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from .global_detector import GlobalOutlierDetector
+from .inmemory import DeliveryLog, InMemoryNetwork
+from .interfaces import DetectorStatistics, OutlierDetector
+from .messages import OutlierMessage
+from .outliers import OutlierQuery, ranked_points, top_n_outliers
+from .points import (
+    DataPoint,
+    distance,
+    make_point,
+    min_hop_merge,
+    restrict_by_hop,
+    sort_key,
+)
+from .ranking import (
+    DEFICIT_UNIT,
+    INFINITE_SCORE,
+    AverageKNNDistance,
+    KthNearestNeighborDistance,
+    NearestNeighborDistance,
+    NeighborCountWithinRadius,
+    RankingFunction,
+    ranking_from_name,
+)
+from .reference import (
+    global_reference,
+    hop_distances,
+    semi_global_reference,
+    semi_global_reference_all,
+)
+from .semiglobal_detector import SemiGlobalOutlierDetector
+from .sliding_window import SlidingWindow
+from .sufficient import compute_sufficient_set, satisfies_sufficiency
+from .support import is_support_set, support_of_set, support_set
+
+__all__ = [
+    # configuration
+    "Algorithm",
+    "DetectionConfig",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "RankingError",
+    "ProtocolError",
+    "TopologyError",
+    "SimulationError",
+    "RoutingError",
+    "DatasetError",
+    "ExperimentError",
+    # data model
+    "DataPoint",
+    "make_point",
+    "distance",
+    "sort_key",
+    "min_hop_merge",
+    "restrict_by_hop",
+    # ranking
+    "RankingFunction",
+    "NearestNeighborDistance",
+    "KthNearestNeighborDistance",
+    "AverageKNNDistance",
+    "NeighborCountWithinRadius",
+    "ranking_from_name",
+    "DEFICIT_UNIT",
+    "INFINITE_SCORE",
+    # queries / reference answers
+    "OutlierQuery",
+    "top_n_outliers",
+    "ranked_points",
+    "global_reference",
+    "semi_global_reference",
+    "semi_global_reference_all",
+    "hop_distances",
+    # support / sufficiency
+    "support_set",
+    "support_of_set",
+    "is_support_set",
+    "compute_sufficient_set",
+    "satisfies_sufficiency",
+    # detectors
+    "OutlierDetector",
+    "DetectorStatistics",
+    "GlobalOutlierDetector",
+    "SemiGlobalOutlierDetector",
+    "OutlierMessage",
+    # execution helpers
+    "SlidingWindow",
+    "InMemoryNetwork",
+    "DeliveryLog",
+]

@@ -1,0 +1,131 @@
+"""Configuration objects shared by the detectors, the simulator and the
+experiment harness.
+
+A :class:`DetectionConfig` captures the user-facing parameters of the paper's
+evaluation: which ranking function to use (``NN`` / ``KNN`` / ``COUNT``), the
+number of reported outliers ``n``, the neighbor count ``k``, the sliding
+window length ``w`` and -- for the semi-global algorithm -- the hop diameter
+``epsilon``.  All values are validated eagerly so that misconfiguration fails
+fast rather than deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigurationError
+from .outliers import OutlierQuery
+from .ranking import RankingFunction, ranking_from_name
+
+__all__ = ["DetectionConfig", "Algorithm"]
+
+
+class Algorithm:
+    """Names of the algorithms compared in the paper's evaluation."""
+
+    GLOBAL = "global"
+    SEMI_GLOBAL = "semi-global"
+    CENTRALIZED = "centralized"
+
+    ALL = (GLOBAL, SEMI_GLOBAL, CENTRALIZED)
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Parameters of one outlier-detection deployment.
+
+    Attributes
+    ----------
+    algorithm:
+        One of :attr:`Algorithm.GLOBAL`, :attr:`Algorithm.SEMI_GLOBAL`,
+        :attr:`Algorithm.CENTRALIZED`.
+    ranking:
+        Short name of the ranking function (``"nn"``, ``"knn"``, ``"kth-nn"``
+        or ``"count"``).
+    n_outliers:
+        Number of outliers to report (the paper's ``n``).
+    k:
+        Neighbor count for the k-NN family of ranking functions.
+    alpha:
+        Radius for the neighbor-count ranking function.
+    window_length:
+        Sliding window length ``w`` in sampling periods.
+    hop_diameter:
+        Spatial extent ``epsilon`` of the semi-global algorithm (ignored by
+        the other algorithms).
+    semiglobal_variant:
+        ``"refined"`` or ``"paper"`` -- see
+        :class:`~repro.core.semiglobal_detector.SemiGlobalOutlierDetector`.
+    """
+
+    algorithm: str = Algorithm.GLOBAL
+    ranking: str = "nn"
+    n_outliers: int = 4
+    k: int = 4
+    alpha: float = 1.0
+    window_length: int = 20
+    hop_diameter: int = 1
+    semiglobal_variant: str = "refined"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in Algorithm.ALL:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {Algorithm.ALL}"
+            )
+        if self.n_outliers < 1:
+            raise ConfigurationError(
+                f"n_outliers must be >= 1, got {self.n_outliers}"
+            )
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.window_length < 1:
+            raise ConfigurationError(
+                f"window_length must be >= 1, got {self.window_length}"
+            )
+        if self.hop_diameter < 1:
+            raise ConfigurationError(
+                f"hop_diameter must be >= 1, got {self.hop_diameter}"
+            )
+        if self.semiglobal_variant not in ("refined", "paper"):
+            raise ConfigurationError(
+                f"semiglobal_variant must be 'refined' or 'paper', "
+                f"got {self.semiglobal_variant!r}"
+            )
+        # Validate the ranking name eagerly (raises ConfigurationError).
+        ranking_from_name(self.ranking, k=self.k, alpha=self.alpha)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def make_ranking(self) -> RankingFunction:
+        """Instantiate the configured ranking function."""
+        return ranking_from_name(self.ranking, k=self.k, alpha=self.alpha)
+
+    def make_query(self) -> OutlierQuery:
+        """Bundle the ranking function with ``n`` into an
+        :class:`~repro.core.outliers.OutlierQuery`."""
+        return OutlierQuery(self.make_ranking(), n=self.n_outliers)
+
+    def with_window(self, window_length: int) -> "DetectionConfig":
+        """Copy of this configuration with a different window length."""
+        return replace(self, window_length=window_length)
+
+    def with_outliers(self, n_outliers: int) -> "DetectionConfig":
+        """Copy of this configuration with a different ``n``."""
+        return replace(self, n_outliers=n_outliers)
+
+    def with_hop_diameter(self, hop_diameter: int) -> "DetectionConfig":
+        """Copy of this configuration with a different ``epsilon``."""
+        return replace(self, hop_diameter=hop_diameter)
+
+    def label(self) -> str:
+        """Plot label matching the paper's naming convention."""
+        if self.algorithm == Algorithm.CENTRALIZED:
+            return "Centralized"
+        ranking = "NN" if self.ranking == "nn" else "KNN"
+        if self.algorithm == Algorithm.GLOBAL:
+            return f"Global-{ranking}"
+        return f"Semi-global, epsilon={self.hop_diameter}"

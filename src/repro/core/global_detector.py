@@ -1,0 +1,232 @@
+"""Global distributed outlier detection (Algorithm 1 of the paper).
+
+Every sensor ``p_i`` runs the same event-driven protocol and converges to the
+exact global answer ``O_n(D)`` where ``D = ∪_i D_i``, provided the network is
+connected and data/links eventually stop changing (Theorems 1 and 2).
+
+State kept by each sensor:
+
+* ``D_i``            -- the points sampled locally (``local_data``),
+* ``P_i``            -- every point the sensor holds (``holdings``),
+* ``D_{i,j}``        -- per neighbor ``j``: points sent to ``j`` (``_sent``),
+* ``D_{j,i}``        -- per neighbor ``j``: points received from ``j``
+  (``_received``).
+
+On every event the sensor recomputes, for each neighbor, a *sufficient set*
+``Z_j`` (see :mod:`repro.core.sufficient`), transmits the part of it the
+neighbor is not already known to hold, and records the transmission in
+``D_{i,j}``.  When no sensor has anything left to send, all estimates agree
+and equal the correct answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from .errors import ProtocolError
+from .interfaces import OutlierDetector
+from .messages import OutlierMessage
+from .outliers import OutlierQuery
+from .points import DataPoint
+from .sufficient import compute_sufficient_set
+from .support import support_of_set
+
+__all__ = ["GlobalOutlierDetector"]
+
+
+class GlobalOutlierDetector(OutlierDetector):
+    """Sans-IO implementation of the paper's Algorithm 1.
+
+    Parameters
+    ----------
+    sensor_id:
+        Identifier of this sensor.
+    query:
+        The ``(R, n)`` outlier query, shared by every sensor in the network.
+    neighbors:
+        Initial immediate neighborhood ``Γ_i``.
+
+    Examples
+    --------
+    >>> from repro.core import (GlobalOutlierDetector, OutlierQuery,
+    ...                         NearestNeighborDistance, make_point)
+    >>> query = OutlierQuery(NearestNeighborDistance(), n=1)
+    >>> a = GlobalOutlierDetector(0, query, neighbors=[1])
+    >>> b = GlobalOutlierDetector(1, query, neighbors=[0])
+    >>> _ = a.add_local_points([make_point([0.5], 0, 0), make_point([3.0], 0, 1)])
+    >>> msg = a.initialize()
+    >>> sorted(p.values[0] for p in msg.payload_for(1))
+    [0.5, 3.0]
+    """
+
+    def __init__(
+        self,
+        sensor_id: int,
+        query: OutlierQuery,
+        neighbors: Iterable[int] = (),
+    ) -> None:
+        super().__init__(sensor_id, query, neighbors)
+        self._local: Set[DataPoint] = set()
+        self._holdings: Set[DataPoint] = set()
+        self._sent: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
+        self._received: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    @property
+    def holdings(self) -> Set[DataPoint]:
+        return set(self._holdings)
+
+    @property
+    def local_data(self) -> Set[DataPoint]:
+        return set(self._local)
+
+    def sent_to(self, neighbor: int) -> Set[DataPoint]:
+        """``D_{i,j}``: the points this sensor has sent to ``neighbor``."""
+        return set(self._sent.get(neighbor, set()))
+
+    def received_from(self, neighbor: int) -> Set[DataPoint]:
+        """``D_{j,i}``: the points this sensor has received from ``neighbor``."""
+        return set(self._received.get(neighbor, set()))
+
+    def known_shared_with(self, neighbor: int) -> Set[DataPoint]:
+        """``D_{i,j} ∪ D_{j,i}``: points known to be common with ``neighbor``."""
+        return self.sent_to(neighbor) | self.received_from(neighbor)
+
+    # ------------------------------------------------------------------
+    # Protocol events
+    # ------------------------------------------------------------------
+    def initialize(self) -> Optional[OutlierMessage]:
+        self.stats.events_processed += 1
+        return self._process()
+
+    def add_local_points(
+        self, points: Iterable[DataPoint]
+    ) -> Optional[OutlierMessage]:
+        if not self._apply_local_additions(points):
+            return None
+        self.stats.events_processed += 1
+        return self._process()
+
+    def evict_points(self, points: Iterable[DataPoint]) -> Optional[OutlierMessage]:
+        if not self._apply_evictions(points):
+            return None
+        self.stats.events_processed += 1
+        return self._process()
+
+    def update_local_data(
+        self,
+        added: Iterable[DataPoint],
+        evicted: Iterable[DataPoint],
+    ) -> Optional[OutlierMessage]:
+        changed_evict = self._apply_evictions(evicted)
+        changed_add = self._apply_local_additions(added)
+        if not (changed_evict or changed_add):
+            return None
+        self.stats.events_processed += 1
+        return self._process()
+
+    def _apply_local_additions(self, points: Iterable[DataPoint]) -> bool:
+        added = False
+        for point in points:
+            if point.hop != 0:
+                raise ProtocolError(
+                    f"locally sampled points must have hop 0, got {point!r}"
+                )
+            if point not in self._holdings:
+                self._local.add(point)
+                self._holdings.add(point)
+                self.stats.local_points_added += 1
+                added = True
+        return added
+
+    def _apply_evictions(self, points: Iterable[DataPoint]) -> bool:
+        evicted = False
+        for point in points:
+            if point in self._holdings:
+                self._holdings.discard(point)
+                self._local.discard(point)
+                evicted = True
+                self.stats.points_evicted += 1
+            for bucket in self._sent.values():
+                bucket.discard(point)
+            for bucket in self._received.values():
+                bucket.discard(point)
+        return evicted
+
+    def handle_message(
+        self, sender: int, points: Iterable[DataPoint]
+    ) -> Optional[OutlierMessage]:
+        if sender not in self._neighbors:
+            raise ProtocolError(
+                f"sensor {self.sensor_id} received points from non-neighbor {sender}"
+            )
+        self.stats.messages_received += 1
+        delivered = list(points)
+        if not delivered:
+            return None
+        # Only points not already in P_i are added to D_{j,i}; duplicates are
+        # ignored exactly as in the paper's update step.
+        for point in delivered:
+            if point in self._holdings:
+                self.stats.points_ignored += 1
+                continue
+            self._holdings.add(point)
+            self._received[sender].add(point)
+            self.stats.points_received += 1
+        self.stats.events_processed += 1
+        return self._process()
+
+    def neighborhood_changed(
+        self, neighbors: Iterable[int]
+    ) -> Optional[OutlierMessage]:
+        new_neighbors = {int(j) for j in neighbors}
+        if self.sensor_id in new_neighbors:
+            raise ProtocolError("a sensor cannot be its own neighbor")
+        if new_neighbors == self._neighbors:
+            return None
+        # Links that went down: the exchanged points remain held (they will
+        # age out of the window naturally) but the shared-knowledge
+        # bookkeeping is dropped, so if the link comes back everything
+        # relevant is re-negotiated from scratch.
+        for gone in self._neighbors - new_neighbors:
+            self._sent.pop(gone, None)
+            self._received.pop(gone, None)
+        for fresh in new_neighbors - self._neighbors:
+            self._sent.setdefault(fresh, set())
+            self._received.setdefault(fresh, set())
+        self._neighbors = new_neighbors
+        self.stats.events_processed += 1
+        return self._process()
+
+    # ------------------------------------------------------------------
+    # Core: the main for-loop of Algorithm 1
+    # ------------------------------------------------------------------
+    def _process(self) -> Optional[OutlierMessage]:
+        payloads: Dict[int, frozenset] = {}
+        if not self._neighbors:
+            return None
+        # O_n(P_i) and its support depend only on P_i; compute them once for
+        # this event and reuse them for every neighbor.
+        holdings = list(self._holdings)
+        estimate = self.query.outliers(holdings)
+        estimate_support = support_of_set(self.query.ranking, estimate, holdings)
+        for neighbor in sorted(self._neighbors):
+            shared = self._sent[neighbor] | self._received[neighbor]
+            sufficient = compute_sufficient_set(
+                self.query,
+                holdings,
+                shared,
+                estimate=estimate,
+                estimate_support=estimate_support,
+            )
+            to_send = sufficient - shared
+            if to_send:
+                payloads[neighbor] = frozenset(to_send)
+                self._sent[neighbor] |= to_send
+                self.stats.points_sent += len(to_send)
+        if not payloads:
+            return None
+        self.stats.messages_built += 1
+        return OutlierMessage(sender=self.sensor_id, payloads=payloads)

@@ -1,0 +1,109 @@
+"""Protocol messages exchanged between sensors.
+
+Because of the broadcast nature of WSN communication, a sensor cannot send
+points to a single immediate neighbor without all other neighbors overhearing
+the transmission.  The paper therefore accumulates every point that must reach
+*some* neighbor into a single packet ``M`` in which each point is tagged with
+the identifiers of its intended recipients.  A neighbor receiving ``M``
+extracts the points tagged with its own id and ignores the rest; if none of
+the points are tagged for it, the reception is not an event.
+
+:class:`OutlierMessage` models exactly this packet.  The wire-size helpers are
+what the energy model uses to translate a message into transmission airtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from .points import DataPoint
+
+__all__ = ["OutlierMessage", "POINT_WIRE_BYTES", "TAG_WIRE_BYTES", "HEADER_WIRE_BYTES"]
+
+#: Bytes needed to encode one data point on the wire: three 4-byte floats
+#: (value, x, y), a 2-byte origin id, a 2-byte epoch, a 4-byte timestamp and a
+#: 1-byte hop counter, rounded up.  The exact constant only scales all energy
+#: numbers uniformly; the paper does not publish its encoding.
+POINT_WIRE_BYTES = 20
+
+#: Bytes per recipient tag attached to a point.
+TAG_WIRE_BYTES = 2
+
+#: Fixed per-packet header (source id, packet type, length, CRC).
+HEADER_WIRE_BYTES = 12
+
+
+@dataclass(frozen=True)
+class OutlierMessage:
+    """A single broadcast packet carrying recipient-tagged data points.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the transmitting sensor.
+    payloads:
+        Mapping from recipient sensor id to the frozen set of points tagged
+        for that recipient.  Every set is non-empty.
+    """
+
+    sender: int
+    payloads: Mapping[int, FrozenSet[DataPoint]]
+
+    def __post_init__(self) -> None:
+        cleaned: Dict[int, FrozenSet[DataPoint]] = {
+            int(dest): frozenset(points)
+            for dest, points in dict(self.payloads).items()
+            if points
+        }
+        object.__setattr__(self, "payloads", cleaned)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def recipients(self) -> Tuple[int, ...]:
+        """Recipient ids in deterministic (sorted) order."""
+        return tuple(sorted(self.payloads))
+
+    def payload_for(self, node_id: int) -> FrozenSet[DataPoint]:
+        """Points tagged for ``node_id`` (empty set when not a recipient)."""
+        return self.payloads.get(node_id, frozenset())
+
+    def is_empty(self) -> bool:
+        """True when no recipient would extract any point from this packet."""
+        return not self.payloads
+
+    def unique_points(self) -> Set[DataPoint]:
+        """The distinct points carried by the packet (each transmitted once,
+        regardless of how many recipients it is tagged for)."""
+        result: Set[DataPoint] = set()
+        for points in self.payloads.values():
+            result |= points
+        return result
+
+    def total_point_entries(self) -> int:
+        """Total number of (point, recipient) pairs -- the bookkeeping load."""
+        return sum(len(points) for points in self.payloads.values())
+
+    def tag_count(self) -> int:
+        """Number of recipient tags on the wire (same as point entries)."""
+        return self.total_point_entries()
+
+    def wire_size_bytes(self) -> int:
+        """Size of the packet on the wire in bytes.
+
+        Each distinct point is encoded once; each (point, recipient) pair adds
+        one recipient tag; a fixed header is always present.
+        """
+        return (
+            HEADER_WIRE_BYTES
+            + POINT_WIRE_BYTES * len(self.unique_points())
+            + TAG_WIRE_BYTES * self.tag_count()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{dest}:{len(points)}pts" for dest, points in sorted(self.payloads.items())
+        )
+        return f"OutlierMessage(sender={self.sender}, {{{parts}}})"

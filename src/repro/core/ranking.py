@@ -1,0 +1,335 @@
+"""Outlier ranking functions ``R(x, Q)``.
+
+Section 4.1 of the paper defines outliers through a *ranking function*
+``R`` mapping a point ``x`` and a finite dataset ``Q`` to a non-negative real
+number: the larger the value, the more outlying ``x`` is with respect to
+``Q``.  The distributed algorithms are correct for every ``R`` that satisfies
+two axioms:
+
+* **anti-monotonicity** -- for ``Q1 ⊆ Q2``: ``R(x, Q1) >= R(x, Q2)``
+  (adding points can only make ``x`` look *less* outlying);
+* **smoothness** -- if ``R(x, Q1) > R(x, Q2)`` for ``Q1 ⊆ Q2`` then some
+  single point ``z ∈ Q2 \\ Q1`` already lowers the rating:
+  ``R(x, Q1) > R(x, Q1 ∪ {z})``.
+
+This module ships the ranking functions used in the paper's evaluation plus
+the distance-to-``α``-neighborhood count variant mentioned in the related-work
+discussion:
+
+* :class:`KthNearestNeighborDistance` -- distance to the k-th nearest
+  neighbor (``NN`` in the plots is the ``k = 1`` special case,
+  :class:`NearestNeighborDistance`);
+* :class:`AverageKNNDistance` -- average distance to the k nearest neighbors
+  (``KNN`` in the plots);
+* :class:`NeighborCountWithinRadius` -- the inverse of the number of
+  neighbors within distance ``α`` (Knorr & Ng style distance-based outliers).
+
+Every ranking function also knows how to compute the *minimal support set*
+``[P|x]`` required by the distributed protocol (see
+:mod:`repro.core.support`).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError, RankingError
+from .points import DataPoint, distance, sort_key
+
+__all__ = [
+    "RankingFunction",
+    "KthNearestNeighborDistance",
+    "NearestNeighborDistance",
+    "AverageKNNDistance",
+    "NeighborCountWithinRadius",
+    "DEFICIT_UNIT",
+    "INFINITE_SCORE",
+    "rank_key",
+    "ranking_from_name",
+]
+
+#: Penalty unit applied per *missing* neighbor when a point has fewer
+#: candidate neighbors than the ranking function requires.  A point with a
+#: neighbor deficit is maximally outlying, but a flat ``inf`` score would
+#: violate the smoothness axiom (adding one neighbor would not change the
+#: score while the deficit persists).  Scoring the deficit as
+#: ``(k - available) * DEFICIT_UNIT`` keeps the function anti-monotone *and*
+#: smooth: every additional neighbor strictly lowers the score.  The unit is
+#: chosen far above any realistic inter-point distance so a deficient point
+#: always outranks a non-deficient one.
+DEFICIT_UNIT = 1.0e18
+
+#: Backwards-compatible alias: the score of a point with the maximum possible
+#: neighbor deficit of 1 (kept for callers that only need "a very large
+#: score").
+INFINITE_SCORE = DEFICIT_UNIT
+
+
+def _neighbors(x: DataPoint, Q: Iterable[DataPoint]) -> list[DataPoint]:
+    """Candidate neighbors of ``x`` in ``Q``: every point of ``Q`` other than
+    ``x`` itself (compared by the ``≺`` key, i.e. by ``rest`` fields)."""
+    xkey = sort_key(x)
+    return [q for q in Q if sort_key(q) != xkey]
+
+
+def _sorted_by_distance(x: DataPoint, candidates: Sequence[DataPoint]) -> list[DataPoint]:
+    """Candidates sorted by increasing distance to ``x``; ties broken by the
+    fixed total order ``≺`` so that the result is deterministic."""
+    return sorted(candidates, key=lambda q: (distance(x, q), sort_key(q)))
+
+
+class RankingFunction(ABC):
+    """Abstract outlier ranking function.
+
+    Concrete subclasses must implement :meth:`score` and :meth:`support`.
+    ``score`` is the ``R(x, Q)`` of the paper, ``support`` is the unique
+    smallest support set ``[Q|x]``.
+    """
+
+    #: Human-readable name used in plots, tables and the CLI.
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
+        """Return ``R(x, Q)``: the degree to which ``x`` is an outlier with
+        respect to the dataset ``Q``.  Larger means more outlying."""
+
+    @abstractmethod
+    def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
+        """Return the unique smallest support set ``[P|x]``.
+
+        The support set is the smallest ``Q1 ⊆ P`` with
+        ``R(x, P) == R(x, Q1)``; minimality is with respect to cardinality and
+        then the lexicographic extension of ``≺``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def scores(self, Q: Iterable[DataPoint]) -> dict[DataPoint, float]:
+        """Score every point of ``Q`` against ``Q`` itself."""
+        pts = list(Q)
+        return dict(zip(pts, self.bulk_scores(pts)))
+
+    def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
+        """Score every point of ``Q`` against ``Q`` itself, in order.
+
+        Subclasses override this with a vectorised implementation; the
+        default simply loops over :meth:`score`.  Semantically equivalent to
+        ``[self.score(p, Q) for p in Q]``.
+        """
+        return [self.score(p, Q) for p in Q]
+
+    @staticmethod
+    def _pairwise_distances(Q: Sequence[DataPoint]) -> "np.ndarray":
+        """All-pairs Euclidean distance matrix over the value vectors.
+
+        Entries between points that share the same ``≺`` key (i.e. copies of
+        the same observation) are set to ``+inf`` so they are never counted
+        as each other's neighbors, mirroring the candidate-exclusion rule of
+        :func:`_neighbors`.
+        """
+        values = np.asarray([q.values for q in Q], dtype=float)
+        diff = values[:, None, :] - values[None, :, :]
+        matrix = np.sqrt((diff * diff).sum(axis=-1))
+        np.fill_diagonal(matrix, np.inf)
+        # Copies of the same observation (identical ``≺`` keys, e.g. hop
+        # variants) must not count as each other's neighbors either.
+        groups: dict = {}
+        for index, q in enumerate(Q):
+            groups.setdefault(sort_key(q), []).append(index)
+        for indices in groups.values():
+            if len(indices) > 1:
+                block = np.ix_(indices, indices)
+                matrix[block] = np.inf
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class KthNearestNeighborDistance(RankingFunction):
+    """``R(x, Q)`` = distance from ``x`` to its k-th nearest neighbor in ``Q``.
+
+    This is the classic distance-based outlier definition of Ramaswamy et
+    al. / Bay & Schwabacher.  If ``Q`` contains fewer than ``k`` candidate
+    neighbors the score is the deficit penalty
+    ``(k - available) * DEFICIT_UNIT`` (see :data:`DEFICIT_UNIT`).
+
+    *Anti-monotone*: adding points can only bring the k-th neighbor closer (or
+    shrink the deficit).  *Smooth*: whenever enlarging the dataset lowered the
+    score, one of the new points must itself be a closer neighbor (or shrink
+    the deficit), and adding that point alone already lowers the score.
+    """
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.name = "NN" if self.k == 1 else f"{self.k}-NN"
+
+    def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
+        candidates = _neighbors(x, Q)
+        if len(candidates) < self.k:
+            return (self.k - len(candidates)) * DEFICIT_UNIT
+        dists = sorted(distance(x, q) for q in candidates)
+        return dists[self.k - 1]
+
+    def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
+        if len(Q) <= 1:
+            return [self.k * DEFICIT_UNIT for _ in Q]
+        matrix = self._pairwise_distances(Q)
+        ordered = np.sort(matrix, axis=1)
+        scores: List[float] = []
+        for row in ordered:
+            finite = int(np.isfinite(row).sum())
+            if finite < self.k:
+                scores.append((self.k - finite) * DEFICIT_UNIT)
+            else:
+                scores.append(float(row[self.k - 1]))
+        return scores
+
+    def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
+        candidates = _sorted_by_distance(x, _neighbors(x, P))
+        if len(candidates) < self.k:
+            # Every candidate is needed to certify that the k-th neighbor does
+            # not exist (score stays infinite only if *no* subset has k
+            # neighbors, and the smallest such certifying set is all of them).
+            return frozenset(candidates)
+        return frozenset(candidates[: self.k])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KthNearestNeighborDistance(k={self.k})"
+
+
+class NearestNeighborDistance(KthNearestNeighborDistance):
+    """Distance to the nearest neighbor (``NN`` in the paper's plots)."""
+
+    def __init__(self) -> None:
+        super().__init__(k=1)
+
+
+class AverageKNNDistance(RankingFunction):
+    """``R(x, Q)`` = average distance from ``x`` to its k nearest neighbors.
+
+    This is the ``KNN`` ranking function of the paper's evaluation (Angiulli &
+    Pizzuti).  If fewer than ``k`` candidate neighbors exist the score is the
+    deficit penalty ``(k - available) * DEFICIT_UNIT``.
+    """
+
+    def __init__(self, k: int = 4) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.name = f"KNN(k={self.k})"
+
+    def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
+        candidates = _neighbors(x, Q)
+        if len(candidates) < self.k:
+            return (self.k - len(candidates)) * DEFICIT_UNIT
+        dists = sorted(distance(x, q) for q in candidates)
+        return sum(dists[: self.k]) / self.k
+
+    def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
+        if len(Q) <= 1:
+            return [self.k * DEFICIT_UNIT for _ in Q]
+        matrix = self._pairwise_distances(Q)
+        ordered = np.sort(matrix, axis=1)
+        scores: List[float] = []
+        for row in ordered:
+            finite = int(np.isfinite(row).sum())
+            if finite < self.k:
+                scores.append((self.k - finite) * DEFICIT_UNIT)
+            else:
+                scores.append(float(row[: self.k].mean()))
+        return scores
+
+    def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
+        candidates = _sorted_by_distance(x, _neighbors(x, P))
+        if len(candidates) < self.k:
+            return frozenset(candidates)
+        return frozenset(candidates[: self.k])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AverageKNNDistance(k={self.k})"
+
+
+class NeighborCountWithinRadius(RankingFunction):
+    """``R(x, Q)`` = ``1 / (1 + |{q ∈ Q : dist(x, q) <= α}|)``.
+
+    The inverse of the number of neighbors within distance ``α`` (Knorr & Ng
+    distance-based outliers).  The ``1 +`` in the denominator keeps the score
+    finite for isolated points while preserving the ordering.
+
+    *Anti-monotone*: the neighbor count can only grow as ``Q`` grows, so the
+    score can only shrink.  *Smooth*: if the score dropped, some new point is
+    within ``α`` of ``x`` and adding it alone already drops the score.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not (alpha > 0 and math.isfinite(alpha)):
+            raise ConfigurationError(f"alpha must be a positive finite number, got {alpha}")
+        self.alpha = float(alpha)
+        self.name = f"COUNT(alpha={self.alpha:g})"
+
+    def _within(self, x: DataPoint, Q: Iterable[DataPoint]) -> list[DataPoint]:
+        return [q for q in _neighbors(x, Q) if distance(x, q) <= self.alpha]
+
+    def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
+        return 1.0 / (1.0 + len(self._within(x, Q)))
+
+    def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
+        if len(Q) <= 1:
+            return [1.0 for _ in Q]
+        matrix = self._pairwise_distances(Q)
+        within = (matrix <= self.alpha).sum(axis=1)
+        return [1.0 / (1.0 + int(count)) for count in within]
+
+    def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
+        # The score depends only on the set of within-α neighbors, and every
+        # support set must contain all of them (dropping any one changes the
+        # count), so the minimal support set is exactly that set.
+        return frozenset(self._within(x, P))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NeighborCountWithinRadius(alpha={self.alpha!r})"
+
+
+def rank_key(
+    ranking: RankingFunction, x: DataPoint, Q: Iterable[DataPoint]
+) -> Tuple[float, Tuple]:
+    """Strict total-order key used to select the top-n outliers.
+
+    The primary key is the score ``R(x, Q)``; ties are broken by the fixed
+    total order ``≺`` on the data space, exactly as the paper assumes.  Keys
+    compare *descending*: callers sort with ``reverse=True`` (or negate).
+    """
+    return (ranking.score(x, Q), sort_key(x))
+
+
+_RANKING_FACTORIES = {
+    "nn": lambda k=1, alpha=None: NearestNeighborDistance(),
+    "knn": lambda k=4, alpha=None: AverageKNNDistance(k=k),
+    "kth-nn": lambda k=4, alpha=None: KthNearestNeighborDistance(k=k),
+    "count": lambda k=None, alpha=1.0: NeighborCountWithinRadius(alpha=alpha),
+}
+
+
+def ranking_from_name(name: str, k: int = 4, alpha: float = 1.0) -> RankingFunction:
+    """Build a ranking function from a short name.
+
+    Recognised names (case-insensitive): ``"nn"``, ``"knn"``, ``"kth-nn"``,
+    ``"count"``.  ``k`` applies to the k-NN family, ``alpha`` to ``"count"``.
+    """
+    try:
+        factory = _RANKING_FACTORIES[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ranking function {name!r}; expected one of "
+            f"{sorted(_RANKING_FACTORIES)}"
+        ) from None
+    return factory(k=k, alpha=alpha)

@@ -1,0 +1,95 @@
+"""Time-based sliding window over a sensor's data stream (Section 5.3).
+
+Each sensor processes its stream under a sliding-window model: a point is
+time-stamped when sampled, and every held point -- regardless of where it
+originated -- is deleted once its time-stamp falls out of the window.  This
+module provides a small window manager the application layer uses to decide
+which points to feed to and evict from a detector at every sampling round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .errors import ConfigurationError
+from .points import DataPoint
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """Tracks the locally-sampled points currently inside the window.
+
+    Parameters
+    ----------
+    length:
+        Window length expressed in the same unit as point timestamps
+        (the experiments use "number of sampling periods", so a window of
+        ``w`` keeps the last ``w`` samples of each stream).
+    """
+
+    def __init__(self, length: float) -> None:
+        if length <= 0:
+            raise ConfigurationError(f"window length must be positive, got {length}")
+        self.length = float(length)
+        self._points: Set[DataPoint] = set()
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Set[DataPoint]:
+        """The points currently inside the window (copy)."""
+        return set(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point: DataPoint) -> bool:
+        return point in self._points
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add(self, points: Iterable[DataPoint]) -> List[DataPoint]:
+        """Insert newly sampled points; returns the ones actually added."""
+        added = []
+        for point in points:
+            if point not in self._points:
+                self._points.add(point)
+                added.append(point)
+        return added
+
+    def cutoff(self, now: float) -> float:
+        """The smallest timestamp still inside the window at time ``now``.
+
+        With one sample per time unit at integer timestamps, a window of
+        length ``w`` observed at time ``t`` contains exactly the ``w`` most
+        recent samples: timestamps ``t - w + 1 .. t``.
+        """
+        return now - self.length + 1
+
+    def expired(self, now: float) -> List[DataPoint]:
+        """Points that have fallen out of the window at time ``now``
+        (timestamp strictly below the cutoff), without removing them."""
+        limit = self.cutoff(now)
+        return [p for p in self._points if p.timestamp < limit]
+
+    def advance(self, now: float) -> List[DataPoint]:
+        """Remove and return every point that expired by time ``now``."""
+        stale = self.expired(now)
+        for point in stale:
+            self._points.discard(point)
+        return stale
+
+    def slide(
+        self, now: float, new_points: Iterable[DataPoint]
+    ) -> Tuple[List[DataPoint], List[DataPoint]]:
+        """One sampling round: evict expired points, insert the new sample.
+
+        Returns ``(added, evicted)`` so the caller can forward both changes to
+        the detector as data-change events.
+        """
+        evicted = self.advance(now)
+        added = self.add(new_points)
+        return added, evicted

@@ -1,0 +1,106 @@
+"""Sufficient-set computation (equations (1)/(2) of the paper).
+
+Before sensor ``p_i`` messages a neighbor ``p_j`` it computes a *sufficient
+set* ``Z_j ⊆ P_i``: a set of points which, if known to ``p_j``, guarantees
+that ``p_j`` could not improve ``p_i``'s current estimate without telling
+``p_i`` about it.  Formally ``Z_j`` must satisfy
+
+    (O_n(P_i) ∪ [P_i | O_n(P_i)])
+        ∪ [P_i | O_n(D_{i,j} ∪ D_{j,i} ∪ Z_j)]  ⊆  Z_j        (eq. 2)
+
+where ``D_{i,j}``/``D_{j,i}`` are the points ``p_i`` has already sent to /
+received from ``p_j``.  The algorithm of the paper builds ``Z_j`` by a
+fixpoint iteration:
+
+    Z_j := O_n(P_i) ∪ [P_i | O_n(P_i)]
+    repeat until no change:
+        Z_j := Z_j ∪ [P_i | O_n(D_{i,j} ∪ D_{j,i} ∪ Z_j)]
+
+which terminates because ``Z_j`` only grows and is bounded by the finite
+``P_i``.  Only ``Z_j \\ (D_{i,j} ∪ D_{j,i})`` is actually transmitted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .outliers import OutlierQuery
+from .support import support_of_set
+
+__all__ = ["compute_sufficient_set", "satisfies_sufficiency"]
+
+
+def compute_sufficient_set(
+    query: OutlierQuery,
+    holdings: Iterable,
+    known_shared: Iterable,
+    estimate: Iterable = None,
+    estimate_support: Iterable = None,
+) -> Set:
+    """Compute a set ``Z`` satisfying eq. (2).
+
+    Parameters
+    ----------
+    query:
+        The ``(R, n)`` outlier query shared by all sensors.
+    holdings:
+        ``P_i`` -- every point the sensor currently holds.
+    known_shared:
+        ``D_{i,j} ∪ D_{j,i}`` -- the points the sensor already knows it has in
+        common with the neighbor under consideration.
+    estimate, estimate_support:
+        Optional precomputed ``O_n(P_i)`` and ``[P_i | O_n(P_i)]``.  Both
+        depend only on ``P_i``, so a sensor processing one event for several
+        neighbors computes them once and passes them in; when omitted they
+        are computed here.
+
+    Returns
+    -------
+    set
+        A sufficient set ``Z ⊆ P_i`` (not necessarily the smallest one --
+        the paper's algorithm does not require minimality).
+    """
+    P = list(holdings)
+    shared = set(known_shared)
+
+    if estimate is None:
+        estimate = query.outliers(P)
+    if estimate_support is None:
+        estimate_support = support_of_set(query.ranking, estimate, P)
+    Z: Set = set(estimate) | set(estimate_support)
+
+    while True:
+        combined = shared | Z
+        closure = support_of_set(query.ranking, query.outliers(combined), P)
+        if closure <= Z:
+            break
+        Z |= closure
+    return Z
+
+
+def satisfies_sufficiency(
+    query: OutlierQuery,
+    Z: Iterable,
+    holdings: Iterable,
+    known_shared: Iterable,
+) -> bool:
+    """Check that ``Z`` satisfies eq. (2) -- used by the test-suite.
+
+    The check evaluates both halves of the containment:
+
+    * the sensor's own estimate and its support are inside ``Z``;
+    * the support (within ``P_i``) of the outliers of
+      ``D_{i,j} ∪ D_{j,i} ∪ Z`` is inside ``Z``.
+    """
+    P = list(holdings)
+    Z_set = set(Z)
+    shared = set(known_shared)
+
+    estimate = query.outliers(P)
+    first = set(estimate) | support_of_set(query.ranking, estimate, P)
+    if not first <= Z_set:
+        return False
+
+    combined = shared | Z_set
+    second = support_of_set(query.ranking, query.outliers(combined), P)
+    return second <= Z_set

@@ -1,0 +1,36 @@
+"""Dataset substrate: layouts, synthetic correlated streams, anomaly
+injection, missing-data imputation and dataset bundles."""
+
+from .imputation import apply_missing_data, drop_readings, impute_missing
+from .layout import (
+    DEFAULT_NODE_COUNT,
+    DEFAULT_TERRAIN_SIZE,
+    DEFAULT_TRANSMISSION_RANGE,
+    grid_layout,
+    intel_lab_layout,
+    random_layout,
+)
+from .loader import DatasetConfig, build_intel_lab_dataset
+from .outlier_injection import InjectionConfig, InjectionRecord, inject_anomalies
+from .streams import SensorDataset
+from .synthetic import TemperatureFieldModel, generate_readings
+
+__all__ = [
+    "intel_lab_layout",
+    "grid_layout",
+    "random_layout",
+    "DEFAULT_NODE_COUNT",
+    "DEFAULT_TERRAIN_SIZE",
+    "DEFAULT_TRANSMISSION_RANGE",
+    "TemperatureFieldModel",
+    "generate_readings",
+    "InjectionConfig",
+    "InjectionRecord",
+    "inject_anomalies",
+    "apply_missing_data",
+    "drop_readings",
+    "impute_missing",
+    "SensorDataset",
+    "DatasetConfig",
+    "build_intel_lab_dataset",
+]

@@ -1,0 +1,136 @@
+"""Anomaly injection.
+
+Sensor faults and genuine rare events are what the detection algorithms are
+supposed to surface.  The injector corrupts a configurable fraction of the
+generated readings with the fault types the WSN literature (and the paper's
+motivation section) describe:
+
+* **spike** -- a single reading jumps far away from the local trend
+  (transient glitch, e.g. an ADC error or a transmission bit-flip);
+* **stuck** -- the sensor repeats a constant, implausible value for a run of
+  consecutive epochs (hardware fault / battery brown-out);
+* **drift** -- the readings ramp away from the truth over a run of epochs
+  (calibration loss as power dwindles).
+
+Injected points are recorded so that experiments can measure how often the
+detectors' top-n outliers coincide with true injected anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from ..core.errors import DatasetError
+from ..core.points import DataPoint, RestKey, make_point
+from ..simulator.rng import RandomStreams
+
+__all__ = ["InjectionConfig", "InjectionRecord", "inject_anomalies"]
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """Controls how many and what kind of anomalies are injected."""
+
+    spike_probability: float = 0.01
+    stuck_probability: float = 0.002
+    drift_probability: float = 0.002
+    spike_magnitude: float = 15.0
+    stuck_value: float = 0.0
+    stuck_duration: int = 5
+    drift_rate: float = 1.5
+    drift_duration: int = 5
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("spike_probability", "stuck_probability", "drift_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1], got {value}")
+        if self.stuck_duration < 1 or self.drift_duration < 1:
+            raise DatasetError("fault durations must be >= 1")
+
+    @property
+    def total_probability(self) -> float:
+        return self.spike_probability + self.stuck_probability + self.drift_probability
+
+
+@dataclass
+class InjectionRecord:
+    """Which points were corrupted, and how."""
+
+    spikes: Set[RestKey] = field(default_factory=set)
+    stuck: Set[RestKey] = field(default_factory=set)
+    drifts: Set[RestKey] = field(default_factory=set)
+
+    @property
+    def all_keys(self) -> Set[RestKey]:
+        return self.spikes | self.stuck | self.drifts
+
+    def count(self) -> int:
+        return len(self.all_keys)
+
+    def is_injected(self, point: DataPoint) -> bool:
+        return point.rest in self.all_keys
+
+
+def _replace_value(point: DataPoint, new_temperature: float) -> DataPoint:
+    values = (new_temperature,) + point.values[1:]
+    return make_point(values, origin=point.origin, epoch=point.epoch,
+                      timestamp=point.timestamp, hop=point.hop)
+
+
+def inject_anomalies(
+    streams: Mapping[int, Sequence[DataPoint]],
+    config: InjectionConfig = InjectionConfig(),
+) -> Tuple[Dict[int, List[DataPoint]], InjectionRecord]:
+    """Return a corrupted copy of ``streams`` plus the injection record.
+
+    Only the first value component (the temperature) is corrupted; the
+    coordinate components are left intact, matching the fault model of the
+    paper's motivation (bad readings, not bad placements, are the common
+    case -- though the algorithms would treat either identically).
+    """
+    rng = RandomStreams(config.seed).stream("injection")
+    record = InjectionRecord()
+    corrupted: Dict[int, List[DataPoint]] = {}
+
+    for node_id in sorted(streams):
+        original = list(streams[node_id])
+        result: List[DataPoint] = []
+        index = 0
+        while index < len(original):
+            point = original[index]
+            draw = rng.random()
+            if draw < config.spike_probability:
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                magnitude = config.spike_magnitude * rng.uniform(0.8, 1.2)
+                spiked = _replace_value(point, point.values[0] + sign * magnitude)
+                result.append(spiked)
+                record.spikes.add(spiked.rest)
+                index += 1
+                continue
+            if draw < config.spike_probability + config.stuck_probability:
+                duration = min(config.stuck_duration, len(original) - index)
+                for offset in range(duration):
+                    victim = original[index + offset]
+                    stuck = _replace_value(victim, config.stuck_value)
+                    result.append(stuck)
+                    record.stuck.add(stuck.rest)
+                index += duration
+                continue
+            if draw < config.total_probability:
+                duration = min(config.drift_duration, len(original) - index)
+                for offset in range(duration):
+                    victim = original[index + offset]
+                    drifted = _replace_value(
+                        victim, victim.values[0] + config.drift_rate * (offset + 1)
+                    )
+                    result.append(drifted)
+                    record.drifts.add(drifted.rest)
+                index += duration
+                continue
+            result.append(point)
+            index += 1
+        corrupted[node_id] = result
+    return corrupted, record

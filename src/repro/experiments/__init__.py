@@ -1,0 +1,47 @@
+"""Experiment harness regenerating every table and figure of the paper's
+evaluation section (plus the Section 5.1 worked example and the Section 8
+traffic-concentration claim)."""
+
+from .accuracy_experiment import run_accuracy_experiment
+from .common import (
+    PAPER_PROFILE,
+    QUICK_PROFILE,
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    clear_cache,
+    run_cached,
+    summarise,
+)
+from .example51 import run_example51, section_51_datasets
+from .figure4 import global_window_sweep, run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .figure7 import run_figure7, semi_global_window_sweep
+from .figure8 import run_figure8
+from .figure9 import outlier_count_sweep, run_figure9
+from .imbalance import run_imbalance_experiment
+
+__all__ = [
+    "ExperimentProfile",
+    "QUICK_PROFILE",
+    "PAPER_PROFILE",
+    "FigureResult",
+    "active_profile",
+    "run_cached",
+    "summarise",
+    "clear_cache",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_accuracy_experiment",
+    "run_example51",
+    "run_imbalance_experiment",
+    "global_window_sweep",
+    "semi_global_window_sweep",
+    "outlier_count_sweep",
+    "section_51_datasets",
+]

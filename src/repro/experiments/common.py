@@ -1,0 +1,168 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every experiment module builds parameter sweeps out of
+:class:`ScenarioConfig` objects and runs them through
+:func:`repro.wsn.runner.run_scenario`.  Because several figures are different
+views of the same runs (Figures 4, 5 and 6 all come from the global-detection
+window sweep), results are memoised in a process-wide cache keyed by the
+scenario, so the benchmark suite never repeats a simulation.
+
+Two execution profiles are provided:
+
+* ``quick`` (default) -- 32 sensors (the paper's smaller network), fewer
+  rounds and a thinned parameter sweep, so the whole benchmark suite runs in
+  minutes on a laptop;
+* ``paper`` -- 53 sensors, the full parameter grids and four repetitions per
+  configuration, matching the paper's setup (hours of simulation).
+
+Select the profile with the ``REPRO_BENCH_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.energy_stats import EnergySummary, aggregate_energy
+from ..core.config import Algorithm, DetectionConfig
+from ..core.errors import ExperimentError
+from ..wsn.results import SimulationResult
+from ..wsn.runner import run_scenario
+from ..wsn.scenario import ScenarioConfig
+
+__all__ = [
+    "ExperimentProfile",
+    "QUICK_PROFILE",
+    "PAPER_PROFILE",
+    "active_profile",
+    "run_cached",
+    "summarise",
+    "clear_cache",
+    "FigureResult",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale parameters of an experiment sweep."""
+
+    name: str
+    node_count: int
+    rounds: int
+    repetitions: int
+    window_sizes: Tuple[int, ...]
+    outlier_counts: Tuple[int, ...]
+    hop_diameters: Tuple[int, ...]
+    sampling_period: float = 30.0
+
+    def base_scenario(self, detection: DetectionConfig, seed: int = 0) -> ScenarioConfig:
+        return ScenarioConfig(
+            detection=detection,
+            node_count=self.node_count,
+            rounds=self.rounds,
+            sampling_period=self.sampling_period,
+            seed=seed,
+        )
+
+
+#: Laptop-scale profile: the default for the benchmark suite.  The parameter
+#: grid is scaled down uniformly (fewer sensors, shorter windows, fewer
+#: rounds) so that every figure regenerates in a few minutes while keeping
+#: the window length well below the number of rounds (the windows must
+#: actually fill for the w-dependence to be visible).
+QUICK_PROFILE = ExperimentProfile(
+    name="quick",
+    node_count=16,
+    rounds=15,
+    repetitions=1,
+    window_sizes=(5, 10, 15),
+    outlier_counts=(2, 4, 6),
+    hop_diameters=(1, 2, 3),
+)
+
+#: Paper-scale profile (53 sensors, full grids, four seeds).  Expect hours of
+#: simulation time; select it with ``REPRO_BENCH_PROFILE=paper``.
+PAPER_PROFILE = ExperimentProfile(
+    name="paper",
+    node_count=53,
+    rounds=45,
+    repetitions=4,
+    window_sizes=(10, 15, 20, 25, 30, 35, 40),
+    outlier_counts=(1, 2, 3, 4, 5, 6, 7, 8),
+    hop_diameters=(1, 2, 3),
+)
+
+_PROFILES = {"quick": QUICK_PROFILE, "paper": PAPER_PROFILE}
+
+
+def active_profile() -> ExperimentProfile:
+    """The profile selected by ``REPRO_BENCH_PROFILE`` (default ``quick``)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick").strip().lower()
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+_CACHE: Dict[ScenarioConfig, SimulationResult] = {}
+
+
+def run_cached(scenario: ScenarioConfig) -> SimulationResult:
+    """Run a scenario, memoising the result for the lifetime of the process."""
+    if scenario not in _CACHE:
+        _CACHE[scenario] = run_scenario(scenario)
+    return _CACHE[scenario]
+
+
+def clear_cache() -> None:
+    """Drop all memoised results (used by tests)."""
+    _CACHE.clear()
+
+
+@dataclass
+class FigureResult:
+    """Data behind one figure: an x axis plus one series per curve."""
+
+    figure: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]]
+    notes: str = ""
+
+    def report(self, precision: int = 5) -> str:
+        """Text table mirroring the figure (printed by the benchmarks)."""
+        from ..analysis.tables import format_series_table
+
+        title = f"{self.figure}" + (f" — {self.notes}" if self.notes else "")
+        return format_series_table(
+            self.x_label, self.x_values, self.series, precision=precision, title=title
+        )
+
+    def series_for(self, name: str) -> List[float]:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.figure} has no series {name!r}; available: {sorted(self.series)}"
+            ) from None
+
+
+def summarise(
+    detection: DetectionConfig,
+    profile: Optional[ExperimentProfile] = None,
+    first_seed: int = 0,
+) -> Tuple[EnergySummary, List[SimulationResult]]:
+    """Run (or reuse) the repetitions of one configuration and average them."""
+    profile = profile or active_profile()
+    results = []
+    for repetition in range(profile.repetitions):
+        scenario = profile.base_scenario(detection, seed=first_seed + repetition)
+        results.append(run_cached(scenario))
+    summary = aggregate_energy([result.energy for result in results])
+    return summary, results

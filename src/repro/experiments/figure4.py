@@ -1,0 +1,87 @@
+"""Figure 4: average TX and RX energy per node per round vs. sliding-window
+size, for global outlier detection (Centralized vs Global-NN vs Global-KNN),
+with ``n = 4`` and ``k = 4``.
+
+The paper's headline observations, which this experiment reproduces in shape:
+
+* the centralized baseline consumes the most energy at every window size and
+  its cost grows (convexly) with ``w``;
+* Global-NN is the only configuration whose energy *decreases* as ``w``
+  grows (more window redundancy means fewer new sufficient points per round);
+* Global-KNN grows slowly (concavely) and stays well below Centralized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import Algorithm, DetectionConfig
+from .common import ExperimentProfile, FigureResult, active_profile, summarise
+
+__all__ = ["global_window_sweep", "run_figure4"]
+
+#: (label, detection template) of the three curves in Figures 4-6.
+GLOBAL_SWEEP_CURVES: Tuple[Tuple[str, DetectionConfig], ...] = (
+    ("Centralized", DetectionConfig(algorithm=Algorithm.CENTRALIZED, ranking="nn")),
+    ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn")),
+    ("Global-KNN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="knn")),
+)
+
+
+def global_window_sweep(
+    profile: Optional[ExperimentProfile] = None,
+    n_outliers: int = 4,
+    k: int = 4,
+) -> Dict[str, Dict[int, "object"]]:
+    """Run (or reuse) every (algorithm, window) combination of the sweep.
+
+    Returns ``{label: {window: EnergySummary}}``; the per-run results are
+    cached process-wide so Figures 4, 5 and 6 share the same simulations.
+    """
+    profile = profile or active_profile()
+    sweep: Dict[str, Dict[int, object]] = {}
+    for label, template in GLOBAL_SWEEP_CURVES:
+        sweep[label] = {}
+        for window in profile.window_sizes:
+            detection = DetectionConfig(
+                algorithm=template.algorithm,
+                ranking=template.ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+            )
+            summary, _results = summarise(detection, profile)
+            sweep[label][window] = summary
+    return sweep
+
+
+def run_figure4(
+    profile: Optional[ExperimentProfile] = None,
+) -> Tuple[FigureResult, FigureResult]:
+    """Reproduce Figure 4: (TX-energy figure, RX-energy figure)."""
+    profile = profile or active_profile()
+    sweep = global_window_sweep(profile)
+    windows = list(profile.window_sizes)
+
+    tx_series = {
+        label: [sweep[label][w].avg_tx_per_round for w in windows] for label in sweep
+    }
+    rx_series = {
+        label: [sweep[label][w].avg_rx_per_round for w in windows] for label in sweep
+    }
+    note = f"{profile.node_count} nodes, n=4, k=4, profile={profile.name}"
+    tx = FigureResult(
+        figure="Figure 4 (TX): avg TX energy per node per round [J]",
+        x_label="w",
+        x_values=[float(w) for w in windows],
+        series=tx_series,
+        notes=note,
+    )
+    rx = FigureResult(
+        figure="Figure 4 (RX): avg RX energy per node per round [J]",
+        x_label="w",
+        x_values=[float(w) for w in windows],
+        series=rx_series,
+        notes=note,
+    )
+    return tx, rx

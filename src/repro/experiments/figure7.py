@@ -1,0 +1,102 @@
+"""Figure 7: average TX and RX energy per node per round vs. sliding-window
+size, for localized (semi-global) outlier detection with the
+nearest-neighbor ranking function, ``epsilon`` in 1..3, compared against the
+centralized baseline.
+
+Expected shape: the centralized baseline is far above every semi-global
+curve; semi-global energy increases with ``epsilon`` (points travel further)
+and tends to decrease with ``w`` (window redundancy), as for Global-NN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import Algorithm, DetectionConfig
+from .common import ExperimentProfile, FigureResult, active_profile, summarise
+
+__all__ = ["semi_global_window_sweep", "run_figure7"]
+
+
+def semi_global_window_sweep(
+    ranking: str,
+    profile: Optional[ExperimentProfile] = None,
+    n_outliers: int = 4,
+    k: int = 4,
+) -> Dict[str, Dict[int, "object"]]:
+    """``{label: {window: EnergySummary}}`` for the semi-global sweep with the
+    given ranking function plus the centralized baseline."""
+    profile = profile or active_profile()
+    sweep: Dict[str, Dict[int, object]] = {}
+
+    centralized = "Centralized"
+    sweep[centralized] = {}
+    for window in profile.window_sizes:
+        detection = DetectionConfig(
+            algorithm=Algorithm.CENTRALIZED,
+            ranking="nn",
+            n_outliers=n_outliers,
+            k=k,
+            window_length=window,
+        )
+        summary, _ = summarise(detection, profile)
+        sweep[centralized][window] = summary
+
+    for epsilon in profile.hop_diameters:
+        label = f"Semi-global, epsilon={epsilon}"
+        sweep[label] = {}
+        for window in profile.window_sizes:
+            detection = DetectionConfig(
+                algorithm=Algorithm.SEMI_GLOBAL,
+                ranking=ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+                hop_diameter=epsilon,
+            )
+            summary, _ = summarise(detection, profile)
+            sweep[label][window] = summary
+    return sweep
+
+
+def _window_figures(
+    sweep: Dict[str, Dict[int, "object"]],
+    profile: ExperimentProfile,
+    figure_name: str,
+    ranking_label: str,
+) -> Tuple[FigureResult, FigureResult]:
+    windows = list(profile.window_sizes)
+    note = (
+        f"{profile.node_count} nodes, n=4, {ranking_label} ranking, "
+        f"profile={profile.name}"
+    )
+    tx = FigureResult(
+        figure=f"{figure_name} (TX): avg TX energy per node per round [J]",
+        x_label="w",
+        x_values=[float(w) for w in windows],
+        series={
+            label: [sweep[label][w].avg_tx_per_round for w in windows]
+            for label in sweep
+        },
+        notes=note,
+    )
+    rx = FigureResult(
+        figure=f"{figure_name} (RX): avg RX energy per node per round [J]",
+        x_label="w",
+        x_values=[float(w) for w in windows],
+        series={
+            label: [sweep[label][w].avg_rx_per_round for w in windows]
+            for label in sweep
+        },
+        notes=note,
+    )
+    return tx, rx
+
+
+def run_figure7(
+    profile: Optional[ExperimentProfile] = None,
+) -> Tuple[FigureResult, FigureResult]:
+    """Reproduce Figure 7 (semi-global, NN ranking)."""
+    profile = profile or active_profile()
+    sweep = semi_global_window_sweep("nn", profile)
+    return _window_figures(sweep, profile, "Figure 7", "NN")

@@ -1,0 +1,24 @@
+"""Figure 8: average TX and RX energy per node per round vs. sliding-window
+size, for localized (semi-global) outlier detection with the k-nearest-
+neighbor (KNN) ranking function, ``epsilon`` in 1..3, vs. the centralized
+baseline.  (Same layout as Figure 7; the paper notes NN and KNN results are
+nearly identical for the localized algorithm.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .common import ExperimentProfile, FigureResult, active_profile
+from .figure7 import _window_figures, semi_global_window_sweep
+
+__all__ = ["run_figure8"]
+
+
+def run_figure8(
+    profile: Optional[ExperimentProfile] = None,
+) -> Tuple[FigureResult, FigureResult]:
+    """Reproduce Figure 8 (semi-global, KNN ranking)."""
+    profile = profile or active_profile()
+    sweep = semi_global_window_sweep("knn", profile)
+    return _window_figures(sweep, profile, "Figure 8", "KNN")

@@ -1,0 +1,93 @@
+"""Figure 9: average TX and RX energy per node per round vs. the number of
+reported outliers ``n``, for localized (semi-global) detection with the KNN
+ranking function at ``w = 20``, ``k = 4``, ``epsilon`` in 1..3, vs. the
+centralized baseline.
+
+Expected shape: energy increases with both ``n`` and ``epsilon`` (more
+outliers and a wider spatial extent both mean more points must travel), and
+every semi-global configuration stays far below the centralized baseline,
+whose cost is independent of ``n`` (it always ships whole windows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import Algorithm, DetectionConfig
+from .common import ExperimentProfile, FigureResult, active_profile, summarise
+
+__all__ = ["outlier_count_sweep", "run_figure9"]
+
+
+def outlier_count_sweep(
+    ranking: str = "knn",
+    window: int = 20,
+    k: int = 4,
+    profile: Optional[ExperimentProfile] = None,
+) -> Dict[str, Dict[int, "object"]]:
+    """``{label: {n: EnergySummary}}`` for the n sweep of Figure 9."""
+    profile = profile or active_profile()
+    sweep: Dict[str, Dict[int, object]] = {}
+
+    sweep["Centralized"] = {}
+    for n_outliers in profile.outlier_counts:
+        detection = DetectionConfig(
+            algorithm=Algorithm.CENTRALIZED,
+            ranking="nn",
+            n_outliers=n_outliers,
+            k=k,
+            window_length=window,
+        )
+        summary, _ = summarise(detection, profile)
+        sweep["Centralized"][n_outliers] = summary
+
+    for epsilon in profile.hop_diameters:
+        label = f"Semi-global, epsilon={epsilon}"
+        sweep[label] = {}
+        for n_outliers in profile.outlier_counts:
+            detection = DetectionConfig(
+                algorithm=Algorithm.SEMI_GLOBAL,
+                ranking=ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+                hop_diameter=epsilon,
+            )
+            summary, _ = summarise(detection, profile)
+            sweep[label][n_outliers] = summary
+    return sweep
+
+
+def run_figure9(
+    profile: Optional[ExperimentProfile] = None,
+    window: int = 20,
+) -> Tuple[FigureResult, FigureResult]:
+    """Reproduce Figure 9 (TX and RX energy vs. number of reported outliers)."""
+    profile = profile or active_profile()
+    sweep = outlier_count_sweep("knn", window=window, profile=profile)
+    counts = list(profile.outlier_counts)
+    note = (
+        f"{profile.node_count} nodes, w={window}, k=4, KNN ranking, "
+        f"profile={profile.name}"
+    )
+    tx = FigureResult(
+        figure="Figure 9 (TX): avg TX energy per node per round [J]",
+        x_label="n",
+        x_values=[float(n) for n in counts],
+        series={
+            label: [sweep[label][n].avg_tx_per_round for n in counts]
+            for label in sweep
+        },
+        notes=note,
+    )
+    rx = FigureResult(
+        figure="Figure 9 (RX): avg RX energy per node per round [J]",
+        x_label="n",
+        x_values=[float(n) for n in counts],
+        series={
+            label: [sweep[label][n].avg_rx_per_round for n in counts]
+            for label in sweep
+        },
+        notes=note,
+    )
+    return tx, rx

@@ -1,0 +1,24 @@
+"""Wireless network substrate: topology, channel, nodes, energy accounting."""
+
+from .channel import ChannelStatistics, WirelessChannel
+from .energy import CROSSBOW_MICA2, EnergyMeter, EnergyModel
+from .node import SimNode
+from .packet import BROADCAST_ADDRESS, Packet, PacketKind
+from .stats import EnergyReport, NodeEnergy
+from .topology import NodePlacement, Topology
+
+__all__ = [
+    "Topology",
+    "NodePlacement",
+    "WirelessChannel",
+    "ChannelStatistics",
+    "SimNode",
+    "Packet",
+    "PacketKind",
+    "BROADCAST_ADDRESS",
+    "EnergyModel",
+    "EnergyMeter",
+    "CROSSBOW_MICA2",
+    "EnergyReport",
+    "NodeEnergy",
+]

@@ -1,0 +1,158 @@
+"""Wireless broadcast channel with free-space propagation.
+
+Every transmission is physically a broadcast: all nodes within transmission
+range of the sender overhear the packet and spend receive energy on it
+(promiscuous listening), regardless of whom the packet is addressed to.  The
+MAC layer of each node then decides whether to hand the packet to the
+application (it does so for link-layer broadcasts and for packets addressed
+to the node).
+
+The channel models:
+
+* transmission delay = packet size / bit-rate (the airtime),
+* a small constant per-hop processing latency,
+* independent per-receiver packet loss with a configurable probability
+  (the paper assumes mostly-reliable delivery; a small loss rate is used for
+  the accuracy-under-loss experiments).
+
+Collisions are not modelled explicitly -- the paper relies on carrier-sense
+to avoid them and does not report collision statistics; their first-order
+effect (occasional missing packets) is covered by the loss probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.errors import ConfigurationError, SimulationError
+from ..simulator.engine import Simulator
+from ..simulator.rng import RandomStreams
+from .packet import Packet
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import SimNode
+
+__all__ = ["ChannelStatistics", "WirelessChannel"]
+
+
+@dataclass
+class ChannelStatistics:
+    """Aggregate traffic counters for one simulation run."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    losses: int = 0
+    bytes_transmitted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "losses": self.losses,
+            "bytes_transmitted": self.bytes_transmitted,
+        }
+
+
+class WirelessChannel:
+    """Connects :class:`~repro.network.node.SimNode` objects according to a
+    :class:`~repro.network.topology.Topology`.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine driving the run.
+    topology:
+        Placement and connectivity of the nodes.
+    loss_probability:
+        Probability that any given receiver fails to decode a packet
+        (independently per receiver).
+    processing_delay:
+        Fixed per-hop latency added on top of the airtime, in seconds.
+    streams:
+        Seeded random streams; the channel uses the ``"channel"`` stream.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: Topology,
+        loss_probability: float = 0.0,
+        processing_delay: float = 1e-3,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        if processing_delay < 0:
+            raise ConfigurationError(
+                f"processing_delay must be non-negative, got {processing_delay}"
+            )
+        self.simulator = simulator
+        self.topology = topology
+        self.loss_probability = float(loss_probability)
+        self.processing_delay = float(processing_delay)
+        self._rng = (streams or RandomStreams(0)).stream("channel")
+        self._nodes: Dict[int, "SimNode"] = {}
+        self.stats = ChannelStatistics()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, node: "SimNode") -> None:
+        """Register a node with the channel (done by the node constructor)."""
+        if node.node_id not in self.topology:
+            raise SimulationError(
+                f"node {node.node_id} is not part of the topology"
+            )
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node {node.node_id} attached twice")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "SimNode":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"no node attached with id {node_id}") from None
+
+    @property
+    def attached_ids(self) -> list:
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender_id: int, packet: Packet) -> None:
+        """Put ``packet`` on the air from ``sender_id``.
+
+        The sender is charged transmit energy once; every attached neighbor
+        within range is charged receive energy (promiscuous listening) and,
+        unless the loss draw discards the packet for that particular
+        receiver, gets the packet delivered after the airtime plus the
+        processing delay.
+        """
+        sender = self.node(sender_id)
+        airtime = sender.energy.model.airtime(packet.size_bytes)
+        sender.energy.charge_tx(packet.size_bytes)
+        self.stats.transmissions += 1
+        self.stats.bytes_transmitted += packet.size_bytes
+
+        delay = airtime + self.processing_delay
+        for neighbor_id in sorted(self.topology.neighbors(sender_id)):
+            receiver = self._nodes.get(neighbor_id)
+            if receiver is None:
+                continue
+            # Promiscuous listening: the radio decodes everything in range.
+            receiver.energy.charge_rx(packet.size_bytes)
+            if self.loss_probability and self._rng.random() < self.loss_probability:
+                self.stats.losses += 1
+                continue
+            self.stats.deliveries += 1
+            self.simulator.schedule(
+                delay,
+                receiver.deliver,
+                packet,
+                name=f"deliver#{packet.packet_id}->{neighbor_id}",
+            )

@@ -1,0 +1,139 @@
+"""Per-run energy and traffic reporting.
+
+The experiment figures all derive from the same primitive measurements: how
+many joules each node spent transmitting, receiving and idling over the
+simulated interval.  :class:`EnergyReport` snapshots those numbers for every
+node and provides the aggregate views used by the plots (averages per node
+per sampling round, minimum/maximum node totals, normalised ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from ..core.errors import ExperimentError
+from .energy import EnergyMeter
+
+__all__ = ["NodeEnergy", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class NodeEnergy:
+    """Immutable snapshot of one node's energy meter."""
+
+    node_id: int
+    tx_joules: float
+    rx_joules: float
+    idle_joules: float
+    packets_sent: int
+    packets_received: int
+    bytes_sent: int
+    bytes_received: int
+
+    @property
+    def total_joules(self) -> float:
+        return self.tx_joules + self.rx_joules + self.idle_joules
+
+    @classmethod
+    def from_meter(cls, node_id: int, meter: EnergyMeter) -> "NodeEnergy":
+        return cls(
+            node_id=node_id,
+            tx_joules=meter.tx_joules,
+            rx_joules=meter.rx_joules,
+            idle_joules=meter.idle_joules,
+            packets_sent=meter.packets_sent,
+            packets_received=meter.packets_received,
+            bytes_sent=meter.bytes_sent,
+            bytes_received=meter.bytes_received,
+        )
+
+
+class EnergyReport:
+    """Energy figures for a whole simulation run."""
+
+    def __init__(self, nodes: Iterable[NodeEnergy], rounds: int) -> None:
+        self.nodes: List[NodeEnergy] = sorted(nodes, key=lambda n: n.node_id)
+        if not self.nodes:
+            raise ExperimentError("an energy report needs at least one node")
+        if rounds < 1:
+            raise ExperimentError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = int(rounds)
+
+    @classmethod
+    def from_meters(
+        cls, meters: Mapping[int, EnergyMeter], rounds: int
+    ) -> "EnergyReport":
+        return cls(
+            (NodeEnergy.from_meter(node_id, meter) for node_id, meter in meters.items()),
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the figures
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def _per_node(self, attribute: str) -> List[float]:
+        return [getattr(node, attribute) for node in self.nodes]
+
+    def average_per_node(self, attribute: str = "total_joules") -> float:
+        """Average of ``attribute`` over nodes (whole run)."""
+        values = self._per_node(attribute)
+        return sum(values) / len(values)
+
+    def average_per_node_per_round(self, attribute: str = "total_joules") -> float:
+        """Average of ``attribute`` per node per sampling round -- the unit
+        the paper's "energy per round" plots use."""
+        return self.average_per_node(attribute) / self.rounds
+
+    def minimum_node_total(self) -> float:
+        return min(node.total_joules for node in self.nodes)
+
+    def maximum_node_total(self) -> float:
+        return max(node.total_joules for node in self.nodes)
+
+    def normalised_range(self) -> Dict[str, float]:
+        """Min/avg/max node totals normalised by the average (Figure 6)."""
+        average = self.average_per_node("total_joules")
+        if average == 0:
+            return {"min": 0.0, "avg": 0.0, "max": 0.0}
+        return {
+            "min": self.minimum_node_total() / average,
+            "avg": 1.0,
+            "max": self.maximum_node_total() / average,
+        }
+
+    def totals(self) -> Dict[str, float]:
+        """Network-wide totals of each energy component."""
+        return {
+            "tx_joules": sum(self._per_node("tx_joules")),
+            "rx_joules": sum(self._per_node("rx_joules")),
+            "idle_joules": sum(self._per_node("idle_joules")),
+            "total_joules": sum(node.total_joules for node in self.nodes),
+        }
+
+    def by_node(self) -> Dict[int, NodeEnergy]:
+        return {node.node_id: node for node in self.nodes}
+
+    def hottest_node(self) -> NodeEnergy:
+        """The node that consumed the most energy (the sink's neighborhood in
+        the centralized baseline)."""
+        return max(self.nodes, key=lambda n: n.total_joules)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """One dict per node, convenient for CSV-style dumps."""
+        return [
+            {
+                "node_id": node.node_id,
+                "tx_joules": node.tx_joules,
+                "rx_joules": node.rx_joules,
+                "idle_joules": node.idle_joules,
+                "total_joules": node.total_joules,
+                "packets_sent": node.packets_sent,
+                "packets_received": node.packets_received,
+            }
+            for node in self.nodes
+        ]

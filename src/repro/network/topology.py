@@ -1,0 +1,203 @@
+"""Network topology: node placement and unit-disk connectivity.
+
+The paper deploys 53 motes (Intel Lab layout) on a 50 m x 50 m terrain with a
+uniform transmission range of about 6.77 m; two sensors can communicate
+directly when their Euclidean distance does not exceed the range (the classic
+unit-disk graph model, which is also what SENSE's free-space propagation with
+a fixed reception threshold produces).
+
+:class:`Topology` builds and queries that graph: neighbor sets, connectivity,
+hop distances, and the shortest-path trees the centralized baseline uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import TopologyError
+
+__all__ = ["NodePlacement", "Topology"]
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """A node identifier with its (x, y) position in metres."""
+
+    node_id: int
+    x: float
+    y: float
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def distance_to(self, other: "NodePlacement") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Topology:
+    """Unit-disk communication graph over a set of placed nodes.
+
+    Parameters
+    ----------
+    placements:
+        Node placements; identifiers must be unique.
+    transmission_range:
+        Maximum distance (metres) at which two nodes hear each other.
+    """
+
+    def __init__(
+        self,
+        placements: Iterable[NodePlacement],
+        transmission_range: float,
+    ) -> None:
+        if transmission_range <= 0:
+            raise TopologyError(
+                f"transmission range must be positive, got {transmission_range}"
+            )
+        self.transmission_range = float(transmission_range)
+        self._placements: Dict[int, NodePlacement] = {}
+        for placement in placements:
+            if placement.node_id in self._placements:
+                raise TopologyError(f"duplicate node id {placement.node_id}")
+            self._placements[placement.node_id] = placement
+        if not self._placements:
+            raise TopologyError("a topology needs at least one node")
+        self._graph = self._build_graph()
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: Mapping[int, Tuple[float, float]],
+        transmission_range: float,
+    ) -> "Topology":
+        """Build a topology from a ``{node_id: (x, y)}`` mapping."""
+        placements = [
+            NodePlacement(node_id, float(x), float(y))
+            for node_id, (x, y) in positions.items()
+        ]
+        return cls(placements, transmission_range)
+
+    def _build_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for placement in self._placements.values():
+            graph.add_node(placement.node_id, pos=placement.position)
+        nodes = list(self._placements.values())
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                dist = a.distance_to(b)
+                if dist <= self.transmission_range:
+                    graph.add_edge(a.node_id, b.node_id, distance=dist)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted node identifiers."""
+        return sorted(self._placements)
+
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._placements
+
+    def placement(self, node_id: int) -> NodePlacement:
+        try:
+            return self._placements[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
+    def position(self, node_id: int) -> Tuple[float, float]:
+        return self.placement(node_id).position
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes, in metres."""
+        return self.placement(a).distance_to(self.placement(b))
+
+    def neighbors(self, node_id: int) -> Set[int]:
+        """Single-hop neighbors of ``node_id`` (nodes within range)."""
+        if node_id not in self._placements:
+            raise TopologyError(f"unknown node id {node_id}")
+        return set(self._graph.neighbors(node_id))
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """The full neighbor map ``{node_id: set(neighbors)}``."""
+        return {node_id: self.neighbors(node_id) for node_id in self.node_ids}
+
+    def degree_statistics(self) -> Tuple[int, float, int]:
+        """(min, mean, max) node degree -- handy for sanity-checking density."""
+        degrees = [self._graph.degree(n) for n in self.node_ids]
+        return (min(degrees), sum(degrees) / len(degrees), max(degrees))
+
+    def is_connected(self) -> bool:
+        """True when a (multi-hop) path exists between every pair of nodes."""
+        return nx.is_connected(self._graph)
+
+    def require_connected(self) -> None:
+        """Raise :class:`TopologyError` when the network is partitioned."""
+        if not self.is_connected():
+            components = [sorted(c) for c in nx.connected_components(self._graph)]
+            raise TopologyError(
+                f"network is not connected: {len(components)} components {components}"
+            )
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Number of hops on a shortest path between two nodes."""
+        try:
+            return nx.shortest_path_length(self._graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no path between nodes {a} and {b}") from None
+
+    def hop_distances_from(self, source: int) -> Dict[int, int]:
+        """Hop distance from ``source`` to every reachable node."""
+        return dict(nx.single_source_shortest_path_length(self._graph, source))
+
+    def nodes_within_hops(self, source: int, max_hops: int) -> Set[int]:
+        """All nodes (including ``source``) at hop distance <= ``max_hops``."""
+        distances = self.hop_distances_from(source)
+        return {node for node, hops in distances.items() if hops <= max_hops}
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest path (as a list of node ids) between two nodes."""
+        try:
+            return nx.shortest_path(self._graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no path between nodes {a} and {b}") from None
+
+    def shortest_path_tree(self, sink: int) -> Dict[int, Optional[int]]:
+        """Next-hop table towards ``sink``: ``{node: next_hop_or_None}``.
+
+        The sink maps to ``None``.  Used by the static-routing variant of the
+        centralized baseline and as the ground truth AODV should discover.
+        """
+        table: Dict[int, Optional[int]] = {sink: None}
+        paths = nx.single_source_shortest_path(self._graph, sink)
+        for node, path in paths.items():
+            if node == sink:
+                continue
+            # path is sink -> ... -> node; the node's next hop towards the
+            # sink is the predecessor of node on that path.
+            table[node] = path[-2]
+        return table
+
+    def diameter(self) -> int:
+        """Longest shortest-path hop count in the (connected) network."""
+        self.require_connected()
+        return nx.diameter(self._graph)
+
+    def graph(self) -> nx.Graph:
+        """A copy of the underlying :class:`networkx.Graph`."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(nodes={len(self)}, range={self.transmission_range:g}m, "
+            f"edges={self._graph.number_of_edges()})"
+        )

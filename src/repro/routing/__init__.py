@@ -1,0 +1,14 @@
+"""Routing substrate: AODV (used by the centralized baseline) and static
+shortest-path routing (tests and ablations)."""
+
+from .aodv import AodvAgent, RouteEntry, RREP_SIZE_BYTES, RREQ_SIZE_BYTES
+from .static import StaticRoutingAgent, install_shortest_path_routes
+
+__all__ = [
+    "AodvAgent",
+    "RouteEntry",
+    "RREQ_SIZE_BYTES",
+    "RREP_SIZE_BYTES",
+    "StaticRoutingAgent",
+    "install_shortest_path_routes",
+]

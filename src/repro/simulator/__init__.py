@@ -1,0 +1,11 @@
+"""Discrete-event simulation engine (the SENSE substitute).
+
+Exports the :class:`Simulator` event loop, the :class:`Event` primitive and
+the :class:`RandomStreams` seeded randomness helper.
+"""
+
+from .engine import Simulator
+from .events import Event, EventPriority
+from .rng import RandomStreams
+
+__all__ = ["Simulator", "Event", "EventPriority", "RandomStreams"]

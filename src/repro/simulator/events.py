@@ -1,0 +1,59 @@
+"""Event objects for the discrete-event simulation engine.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous events
+fire in a deterministic order: first by explicit priority, then by scheduling
+order.  Cancelled events stay in the heap but are skipped when popped, which
+keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Event", "EventPriority"]
+
+
+class EventPriority:
+    """Relative ordering of events that fire at the same instant."""
+
+    HIGH = 0
+    NORMAL = 10
+    LOW = 20
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Only ``time``, ``priority`` and ``sequence`` participate in ordering; the
+    callback and its arguments are compared by identity never.
+    """
+
+    time: float
+    priority: int = EventPriority.NORMAL
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    args: Tuple[Any, ...] = field(default=(), compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (no-op when cancelled or callback-less)."""
+        if self.cancelled or self.callback is None:
+            return None
+        return self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        state = " (cancelled)" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, {label}{state})"

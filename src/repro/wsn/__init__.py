@@ -1,0 +1,30 @@
+"""Application layer and scenario runner for simulated WSN deployments."""
+
+from .centralized_app import (
+    Acknowledgement,
+    CentralizedClientApp,
+    CentralizedSinkApp,
+    OutlierReply,
+    WindowUpload,
+)
+from .deployment import Deployment, build_deployment
+from .detector_app import DistributedDetectorApp
+from .results import SimulationResult
+from .runner import run_repetitions, run_scenario, schedule_workload
+from .scenario import ScenarioConfig
+
+__all__ = [
+    "ScenarioConfig",
+    "Deployment",
+    "build_deployment",
+    "DistributedDetectorApp",
+    "CentralizedClientApp",
+    "CentralizedSinkApp",
+    "WindowUpload",
+    "OutlierReply",
+    "Acknowledgement",
+    "SimulationResult",
+    "run_scenario",
+    "run_repetitions",
+    "schedule_workload",
+]

@@ -1,0 +1,69 @@
+"""Result container produced by one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..analysis.accuracy import AccuracyReport
+from ..core.points import RestKey
+from ..network.channel import ChannelStatistics
+from ..network.stats import EnergyReport
+from .scenario import ScenarioConfig
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run of :func:`repro.wsn.runner.run_scenario` produces.
+
+    Attributes
+    ----------
+    scenario:
+        The configuration that was run.
+    energy:
+        Per-node energy snapshot (the raw material of Figures 4-9).
+    channel:
+        Aggregate traffic counters of the wireless channel.
+    accuracy:
+        Per-node comparison of the final estimates against the reference
+        answer over the final sliding windows.
+    estimates / references:
+        The normalised (rest-key) estimate and reference per node, kept for
+        deeper post-hoc analysis.
+    protocol_stats:
+        Per-node protocol counters (events, points sent/received, ...).
+    events_executed:
+        Number of discrete events the simulator processed.
+    wallclock_seconds:
+        Real time the run took (useful for reporting simulation cost).
+    """
+
+    scenario: ScenarioConfig
+    energy: EnergyReport
+    channel: ChannelStatistics
+    accuracy: AccuracyReport
+    estimates: Dict[int, Set[RestKey]] = field(default_factory=dict)
+    references: Dict[int, Set[RestKey]] = field(default_factory=dict)
+    protocol_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    events_executed: int = 0
+    wallclock_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label()
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for quick inspection and report tables."""
+        return {
+            "avg_tx_per_round": self.energy.average_per_node_per_round("tx_joules"),
+            "avg_rx_per_round": self.energy.average_per_node_per_round("rx_joules"),
+            "avg_total_per_round": self.energy.average_per_node_per_round("total_joules"),
+            "min_node_total": self.energy.minimum_node_total(),
+            "max_node_total": self.energy.maximum_node_total(),
+            "accuracy_exact": self.accuracy.exact_fraction,
+            "accuracy_similarity": self.accuracy.mean_similarity,
+            "transmissions": float(self.channel.transmissions),
+            "events": float(self.events_executed),
+        }

@@ -1,0 +1,120 @@
+"""Scenario configuration for simulated experiments.
+
+A :class:`ScenarioConfig` fully describes one simulation run: the detection
+algorithm and its parameters (a :class:`~repro.core.config.DetectionConfig`),
+the deployment (node count, terrain, radio range), the workload (number of
+sampling rounds, sampling period, anomaly injection, missing data) and the
+channel conditions (packet-loss probability), plus the random seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.config import Algorithm, DetectionConfig
+from ..core.errors import ConfigurationError
+from ..datasets.layout import (
+    DEFAULT_NODE_COUNT,
+    DEFAULT_TERRAIN_SIZE,
+    DEFAULT_TRANSMISSION_RANGE,
+)
+from ..datasets.loader import DatasetConfig
+from ..datasets.outlier_injection import InjectionConfig
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to reproduce one simulation run.
+
+    Attributes
+    ----------
+    detection:
+        Algorithm, ranking function, ``n``, ``k``, window length, epsilon.
+    node_count:
+        Number of sensors (the paper uses 53; 32 for the scaling study).
+    rounds:
+        Number of sampling rounds simulated.
+    sampling_period:
+        Seconds of simulated time between successive samples of a sensor.
+    terrain_size / transmission_range:
+        Deployment geometry in metres.
+    loss_probability:
+        Independent per-receiver packet-loss probability.
+    sink_id:
+        Collection point used by the centralized baseline.
+    use_static_routing:
+        When true the centralized baseline uses precomputed shortest-path
+        routes instead of AODV (ablation isolating route-discovery overhead).
+    missing_probability / injection:
+        Dataset preparation knobs (see :mod:`repro.datasets`).
+    seed:
+        Master random seed for the run.
+    """
+
+    detection: DetectionConfig = field(default_factory=DetectionConfig)
+    node_count: int = DEFAULT_NODE_COUNT
+    rounds: int = 30
+    sampling_period: float = 30.0
+    terrain_size: float = DEFAULT_TERRAIN_SIZE
+    transmission_range: float = DEFAULT_TRANSMISSION_RANGE
+    loss_probability: float = 0.0
+    sink_id: int = 0
+    use_static_routing: bool = False
+    missing_probability: float = 0.03
+    injection: InjectionConfig = field(default_factory=InjectionConfig)
+    broadcast_jitter: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2:
+            raise ConfigurationError("a scenario needs at least two sensors")
+        if self.rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        if self.sampling_period <= 0:
+            raise ConfigurationError("sampling_period must be positive")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError("loss_probability must be in [0, 1)")
+        if not 0 <= self.sink_id < self.node_count:
+            raise ConfigurationError(
+                f"sink_id {self.sink_id} outside the node id range [0, {self.node_count})"
+            )
+        if self.broadcast_jitter < 0:
+            raise ConfigurationError("broadcast_jitter must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived values and copies
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> str:
+        return self.detection.algorithm
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered by the sampling schedule."""
+        return self.rounds * self.sampling_period
+
+    def dataset_config(self) -> DatasetConfig:
+        """The dataset-generation parameters implied by this scenario."""
+        return DatasetConfig(
+            node_count=self.node_count,
+            epochs=self.rounds,
+            terrain_size=self.terrain_size,
+            missing_probability=self.missing_probability,
+            imputation_window=self.detection.window_length,
+            injection=self.injection,
+            field_seed=self.seed,
+            missing_seed=self.seed + 1,
+        )
+
+    def with_detection(self, detection: DetectionConfig) -> "ScenarioConfig":
+        return replace(self, detection=detection)
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        return replace(self, seed=seed)
+
+    def label(self) -> str:
+        """Plot label (delegates to the detection configuration)."""
+        return self.detection.label()

@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.core import (
+    AverageKNNDistance,
+    GlobalOutlierDetector,
+    NearestNeighborDistance,
+    OutlierQuery,
+    make_point,
+)
+
+
+@pytest.fixture
+def nn_query() -> OutlierQuery:
+    """Top-1 outlier under the nearest-neighbor distance."""
+    return OutlierQuery(NearestNeighborDistance(), n=1)
+
+
+@pytest.fixture
+def knn_query() -> OutlierQuery:
+    """Top-2 outliers under the average 2-NN distance."""
+    return OutlierQuery(AverageKNNDistance(k=2), n=2)
+
+
+def make_points(values, origin=0, start_epoch=0, extra=()):
+    """Build 1-D (or higher-D via ``extra``) points from plain numbers."""
+    return [
+        make_point([float(v), *extra], origin=origin, epoch=start_epoch + i)
+        for i, v in enumerate(values)
+    ]
+
+
+def random_dataset(rng: random.Random, sensors: int, per_sensor: int,
+                   outlier_rate: float = 0.1) -> Dict[int, List]:
+    """Random clustered data with occasional far-away outliers."""
+    data = {}
+    for sensor in range(sensors):
+        points = []
+        for epoch in range(per_sensor):
+            if rng.random() < outlier_rate:
+                value = rng.uniform(60.0, 100.0)
+            else:
+                value = rng.gauss(20.0, 1.0)
+            points.append(
+                make_point(
+                    [value, rng.uniform(0, 50), rng.uniform(0, 50)],
+                    origin=sensor,
+                    epoch=epoch,
+                )
+            )
+        data[sensor] = points
+    return data
+
+
+def random_connected_adjacency(rng: random.Random, sensors: int) -> Dict[int, List[int]]:
+    """A random connected graph: a random tree plus a few extra edges."""
+    adjacency = {i: set() for i in range(sensors)}
+    order = list(range(sensors))
+    rng.shuffle(order)
+    for index in range(1, sensors):
+        other = rng.choice(order[:index])
+        adjacency[order[index]].add(other)
+        adjacency[other].add(order[index])
+    for _ in range(rng.randint(0, sensors)):
+        a, b = rng.sample(range(sensors), 2)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return {node: sorted(neighbors) for node, neighbors in adjacency.items()}

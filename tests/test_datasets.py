@@ -1,0 +1,187 @@
+"""Tests for the dataset substrate: layouts, synthetic streams, anomaly
+injection, missing-data imputation and dataset bundles."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets import (
+    DEFAULT_TRANSMISSION_RANGE,
+    DatasetConfig,
+    InjectionConfig,
+    SensorDataset,
+    TemperatureFieldModel,
+    apply_missing_data,
+    build_intel_lab_dataset,
+    drop_readings,
+    generate_readings,
+    grid_layout,
+    impute_missing,
+    inject_anomalies,
+    intel_lab_layout,
+    random_layout,
+)
+from repro.network import Topology
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("count", [2, 16, 32, 53])
+    def test_intel_lab_layout_is_connected_at_paper_range(self, count):
+        topo = Topology.from_positions(intel_lab_layout(count), DEFAULT_TRANSMISSION_RANGE)
+        assert topo.is_connected()
+
+    def test_layout_is_deterministic(self):
+        assert intel_lab_layout(20) == intel_lab_layout(20)
+
+    def test_positions_stay_inside_the_terrain(self):
+        for x, y in intel_lab_layout(53, terrain_size=50.0).values():
+            assert 0.0 <= x <= 50.0 and 0.0 <= y <= 50.0
+
+    def test_grid_layout_shape(self):
+        layout = grid_layout(3, 2, spacing=4.0)
+        assert len(layout) == 6
+        assert layout[4] == (4.0, 4.0)
+
+    def test_random_layout_respects_min_spacing(self):
+        layout = random_layout(10, terrain_size=50.0, seed=1, min_spacing=3.0)
+        points = list(layout.values())
+        for i, a in enumerate(points):
+            for b in points[i + 1:]:
+                assert ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5 >= 3.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            intel_lab_layout(0)
+        with pytest.raises(DatasetError):
+            grid_layout(0, 1, 1.0)
+
+
+class TestSyntheticStreams:
+    def test_streams_are_deterministic_given_the_seed(self):
+        positions = intel_lab_layout(5)
+        a = generate_readings(positions, epochs=4, model=TemperatureFieldModel(seed=3))
+        b = generate_readings(positions, epochs=4, model=TemperatureFieldModel(seed=3))
+        assert a == b
+
+    def test_points_carry_temperature_and_coordinates(self):
+        positions = intel_lab_layout(3)
+        streams = generate_readings(positions, epochs=2)
+        for node_id, points in streams.items():
+            for point in points:
+                assert point.origin == node_id
+                assert point.dimension == 3
+                assert point.values[1:] == positions[node_id]
+
+    def test_nearby_sensors_read_similar_values(self):
+        """Spatial correlation: neighbors differ less than far-apart sensors."""
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (45.0, 45.0)}
+        model = TemperatureFieldModel(seed=1, measurement_noise=0.0, ar_noise=0.0)
+        streams = generate_readings(positions, epochs=1, model=model)
+        near = abs(streams[0][0].values[0] - streams[1][0].values[0])
+        far = abs(streams[0][0].values[0] - streams[2][0].values[0])
+        assert near <= far + 1e-9
+
+    def test_temporal_trend_is_shared(self):
+        model = TemperatureFieldModel(seed=1)
+        assert model.temporal_component(0) == pytest.approx(0.0)
+        assert model.temporal_component(75) != model.temporal_component(0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(DatasetError):
+            generate_readings(intel_lab_layout(2), epochs=0)
+
+
+class TestInjection:
+    def test_spikes_move_the_temperature_substantially(self):
+        positions = intel_lab_layout(4)
+        clean = generate_readings(positions, epochs=30)
+        config = InjectionConfig(spike_probability=0.2, stuck_probability=0.0,
+                                 drift_probability=0.0, spike_magnitude=20.0, seed=5)
+        corrupted, record = inject_anomalies(clean, config)
+        assert record.count() > 0
+        for node_id, points in corrupted.items():
+            clean_by_epoch = {p.epoch: p for p in clean[node_id]}
+            for point in points:
+                if point.rest in record.spikes:
+                    assert abs(point.values[0] - clean_by_epoch[point.epoch].values[0]) > 10.0
+
+    def test_coordinates_are_never_corrupted(self):
+        positions = intel_lab_layout(3)
+        clean = generate_readings(positions, epochs=10)
+        corrupted, _ = inject_anomalies(clean, InjectionConfig(spike_probability=0.3, seed=2))
+        for node_id, points in corrupted.items():
+            for point in points:
+                assert point.values[1:] == positions[node_id]
+
+    def test_stream_lengths_preserved(self):
+        clean = generate_readings(intel_lab_layout(3), epochs=12)
+        corrupted, _ = inject_anomalies(clean, InjectionConfig(seed=1))
+        assert {k: len(v) for k, v in corrupted.items()} == {k: len(v) for k, v in clean.items()}
+
+    def test_invalid_probability(self):
+        with pytest.raises(DatasetError):
+            InjectionConfig(spike_probability=1.5)
+
+
+class TestMissingData:
+    def test_drop_and_impute_restores_every_epoch(self):
+        clean = generate_readings(intel_lab_layout(3), epochs=20)
+        completed, imputed = apply_missing_data(clean, missing_probability=0.3,
+                                                window_length=5, seed=4)
+        for node_id, points in completed.items():
+            assert [p.epoch for p in points] == [p.epoch for p in clean[node_id]]
+        assert any(imputed.values())
+
+    def test_imputed_value_is_the_preceding_window_average(self):
+        from repro.core import make_point
+
+        stream = [make_point([10.0, 0, 0], 0, 0), make_point([20.0, 0, 0], 0, 1)]
+        completed = impute_missing(stream, expected_epochs=[0, 1, 2], window_length=2)
+        assert completed[2].values[0] == pytest.approx(15.0)
+
+    def test_first_sample_never_dropped(self):
+        clean = generate_readings(intel_lab_layout(2), epochs=5)
+        dropped = drop_readings(clean, missing_probability=0.9, seed=1)
+        for node_id, points in dropped.items():
+            assert points[0].epoch == clean[node_id][0].epoch
+
+    def test_invalid_probability(self):
+        with pytest.raises(DatasetError):
+            drop_readings({}, missing_probability=1.0)
+
+
+class TestSensorDataset:
+    def test_build_pipeline_produces_consistent_bundle(self):
+        dataset = build_intel_lab_dataset(DatasetConfig(node_count=6, epochs=8))
+        assert dataset.node_count == 6
+        assert dataset.epochs == 8
+        assert set(dataset.positions) == set(dataset.streams)
+
+    def test_windows_and_union(self):
+        dataset = build_intel_lab_dataset(DatasetConfig(node_count=4, epochs=6))
+        window = dataset.window(0, end_index=5, length=3)
+        assert len(window) == 3
+        union = dataset.union_window(5, 3)
+        assert len(union) == 4 * 3
+
+    def test_points_at_epoch(self):
+        dataset = build_intel_lab_dataset(DatasetConfig(node_count=3, epochs=4))
+        sample = dataset.points_at(2)
+        assert set(sample) == {0, 1, 2}
+        assert all(p.epoch == 2 for p in sample.values())
+
+    def test_restrict_nodes(self):
+        dataset = build_intel_lab_dataset(DatasetConfig(node_count=5, epochs=3))
+        small = dataset.restrict_nodes([0, 2])
+        assert small.node_ids == [0, 2]
+
+    def test_mismatched_streams_rejected(self):
+        from repro.core import make_point
+
+        with pytest.raises(DatasetError):
+            SensorDataset(positions={0: (0, 0)}, streams={1: [make_point([1], 1, 0)]})
+
+    def test_wrong_origin_rejected(self):
+        from repro.core import make_point
+
+        with pytest.raises(DatasetError):
+            SensorDataset(positions={0: (0, 0)}, streams={0: [make_point([1], 5, 0)]})

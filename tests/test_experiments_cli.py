@@ -1,0 +1,99 @@
+"""Tests for the experiment harness (on a tiny profile) and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    clear_cache,
+    run_example51,
+    run_figure4,
+)
+from repro.experiments.common import PAPER_PROFILE, QUICK_PROFILE
+
+#: A deliberately tiny profile so harness tests run in seconds.
+TINY = ExperimentProfile(
+    name="tiny",
+    node_count=6,
+    rounds=4,
+    repetitions=1,
+    window_sizes=(2, 3),
+    outlier_counts=(1, 2),
+    hop_diameters=(1,),
+)
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_profile_selection_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "paper")
+        assert active_profile() is PAPER_PROFILE
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "huge")
+        with pytest.raises(Exception):
+            active_profile()
+
+    def test_quick_profile_windows_fit_inside_rounds(self):
+        assert max(QUICK_PROFILE.window_sizes) <= QUICK_PROFILE.rounds
+        assert max(PAPER_PROFILE.window_sizes) <= PAPER_PROFILE.rounds
+
+
+class TestFigureHarness:
+    def test_figure4_on_tiny_profile_has_all_curves(self):
+        clear_cache()
+        tx, rx = run_figure4(TINY)
+        for figure in (tx, rx):
+            assert set(figure.series) == {"Centralized", "Global-NN", "Global-KNN"}
+            assert figure.x_values == [2.0, 3.0]
+            assert all(len(v) == 2 for v in figure.series.values())
+            assert all(value >= 0 for series in figure.series.values() for value in series)
+
+    def test_results_are_cached_across_figures(self):
+        clear_cache()
+        run_figure4(TINY)
+        from repro.experiments.common import _CACHE
+
+        cached = len(_CACHE)
+        run_figure4(TINY)
+        assert len(_CACHE) == cached
+
+    def test_figure_result_report_and_series_access(self):
+        figure = FigureResult(
+            figure="demo", x_label="w", x_values=[1.0], series={"a": [0.5]}
+        )
+        assert "demo" in figure.report()
+        assert figure.series_for("a") == [0.5]
+        with pytest.raises(Exception):
+            figure.series_for("missing")
+
+    def test_example51_reports_distributed_advantage(self):
+        figure = run_example51(sizes=((20, 10), (40, 20)))
+        distributed = figure.series_for("distributed (points sent)")
+        centralised = figure.series_for("centralised on one sensor (points sent)")
+        assert all(d < c for d, c in zip(distributed, centralised))
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--nodes", "6", "--rounds", "4"])
+        assert args.command == "run"
+
+    def test_run_command_executes_a_small_scenario(self, capsys):
+        exit_code = main(
+            ["run", "--nodes", "6", "--rounds", "4", "-w", "3", "-n", "2",
+             "--algorithm", "global", "--ranking", "nn"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "accuracy_exact" in captured
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "42"])

@@ -1,0 +1,223 @@
+"""Tests for the network substrate: topology, energy model, packets, channel
+and nodes."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SimulationError, TopologyError
+from repro.network import (
+    BROADCAST_ADDRESS,
+    CROSSBOW_MICA2,
+    EnergyMeter,
+    EnergyModel,
+    EnergyReport,
+    NodePlacement,
+    Packet,
+    PacketKind,
+    SimNode,
+    Topology,
+    WirelessChannel,
+)
+from repro.network.stats import NodeEnergy
+from repro.simulator import Simulator
+
+
+def square_topology(side=2, spacing=5.0, rng=6.0):
+    positions = {
+        row * side + col: (col * spacing, row * spacing)
+        for row in range(side)
+        for col in range(side)
+    }
+    return Topology.from_positions(positions, rng)
+
+
+class TestTopology:
+    def test_neighbors_follow_the_unit_disk_rule(self):
+        topo = square_topology()
+        assert topo.neighbors(0) == {1, 2}  # diagonal (7.07m) out of range
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([NodePlacement(0, 0, 0), NodePlacement(0, 1, 1)], 5.0)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([], 5.0)
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.from_positions({0: (0, 0)}, 0.0)
+
+    def test_connectivity_detection(self):
+        connected = square_topology()
+        assert connected.is_connected()
+        disconnected = Topology.from_positions({0: (0, 0), 1: (100, 100)}, 5.0)
+        assert not disconnected.is_connected()
+        with pytest.raises(TopologyError):
+            disconnected.require_connected()
+
+    def test_hop_distances(self):
+        topo = square_topology()
+        assert topo.hop_distance(0, 3) == 2
+        assert topo.hop_distances_from(0) == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert topo.nodes_within_hops(0, 1) == {0, 1, 2}
+
+    def test_shortest_path_tree_points_towards_the_sink(self):
+        topo = square_topology()
+        table = topo.shortest_path_tree(0)
+        assert table[0] is None
+        assert table[3] in {1, 2}
+        assert table[1] == 0
+
+    def test_distance_and_positions(self):
+        topo = square_topology()
+        assert topo.distance(0, 1) == pytest.approx(5.0)
+        assert topo.position(3) == (5.0, 5.0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            square_topology().neighbors(99)
+
+    def test_degree_statistics_and_diameter(self):
+        topo = square_topology()
+        low, mean, high = topo.degree_statistics()
+        assert (low, high) == (2, 2)
+        assert topo.diameter() == 2
+
+
+class TestEnergyModel:
+    def test_paper_constants(self):
+        assert CROSSBOW_MICA2.tx_power_w == pytest.approx(0.0159)
+        assert CROSSBOW_MICA2.rx_power_w == pytest.approx(0.021)
+        assert CROSSBOW_MICA2.idle_power_w == pytest.approx(3e-6)
+
+    def test_airtime_and_energy_scale_with_size(self):
+        model = EnergyModel(bitrate_bps=38_400)
+        assert model.airtime(48) == pytest.approx(0.01)
+        assert model.tx_energy(96) == pytest.approx(2 * model.tx_energy(48))
+        assert model.rx_energy(48) > model.tx_energy(48)  # RX draws more power
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(tx_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            CROSSBOW_MICA2.airtime(-1)
+        with pytest.raises(ConfigurationError):
+            CROSSBOW_MICA2.idle_energy(-1.0)
+
+    def test_meter_accumulates(self):
+        meter = EnergyMeter()
+        meter.charge_tx(100)
+        meter.charge_rx(100)
+        meter.charge_idle(10.0)
+        assert meter.total_joules == pytest.approx(
+            meter.tx_joules + meter.rx_joules + meter.idle_joules
+        )
+        assert meter.packets_sent == 1 and meter.packets_received == 1
+        assert meter.bytes_sent == 100
+
+
+class TestEnergyReport:
+    def _report(self):
+        meters = {}
+        for node_id, tx in enumerate([1.0, 2.0, 3.0]):
+            meter = EnergyMeter()
+            meter.tx_joules = tx
+            meters[node_id] = meter
+        return EnergyReport.from_meters(meters, rounds=10)
+
+    def test_averages_and_extremes(self):
+        report = self._report()
+        assert report.average_per_node("tx_joules") == pytest.approx(2.0)
+        assert report.average_per_node_per_round("tx_joules") == pytest.approx(0.2)
+        assert report.minimum_node_total() == pytest.approx(1.0)
+        assert report.maximum_node_total() == pytest.approx(3.0)
+        assert report.hottest_node().node_id == 2
+
+    def test_normalised_range(self):
+        norm = self._report().normalised_range()
+        assert norm["avg"] == pytest.approx(1.0)
+        assert norm["min"] == pytest.approx(0.5)
+        assert norm["max"] == pytest.approx(1.5)
+
+    def test_rows_and_totals(self):
+        report = self._report()
+        assert len(report.as_rows()) == 3
+        assert report.totals()["tx_joules"] == pytest.approx(6.0)
+
+
+class TestChannelAndNodes:
+    def _stack(self, loss=0.0):
+        sim = Simulator()
+        topo = square_topology()
+        channel = WirelessChannel(sim, topo, loss_probability=loss)
+        nodes = {i: SimNode(i, channel) for i in topo.node_ids}
+        return sim, channel, nodes
+
+    def test_broadcast_reaches_only_nodes_in_range(self):
+        sim, channel, nodes = self._stack()
+        received = []
+        for node in nodes.values():
+            node.add_handler(lambda n, p: received.append(n.node_id) or True)
+        packet = Packet(PacketKind.APP_BROADCAST, source=0,
+                        destination=BROADCAST_ADDRESS, size_bytes=50)
+        nodes[0].broadcast(packet)
+        sim.run()
+        assert sorted(received) == [1, 2]
+
+    def test_promiscuous_listening_charges_all_neighbors(self):
+        sim, channel, nodes = self._stack()
+        packet = Packet(PacketKind.APP_DATA, source=0, destination=1, size_bytes=40,
+                        link_source=0, link_destination=1)
+        nodes[0].send(packet)
+        sim.run()
+        assert nodes[0].energy.tx_joules > 0
+        assert nodes[1].energy.rx_joules > 0
+        assert nodes[2].energy.rx_joules > 0  # overhears but discards
+        assert nodes[2].packets_discarded == 1
+
+    def test_unicast_delivered_only_to_link_destination(self):
+        sim, channel, nodes = self._stack()
+        handled = []
+        for node in nodes.values():
+            node.add_handler(lambda n, p: handled.append(n.node_id) or True)
+        packet = Packet(PacketKind.APP_DATA, source=0, destination=1, size_bytes=40,
+                        link_source=0, link_destination=1)
+        nodes[0].send(packet)
+        sim.run()
+        assert handled == [1]
+
+    def test_loss_probability_drops_deliveries(self):
+        sim, channel, nodes = self._stack(loss=0.999)
+        handled = []
+        nodes[1].add_handler(lambda n, p: handled.append(p) or True)
+        for _ in range(10):
+            nodes[0].broadcast(Packet(PacketKind.APP_BROADCAST, source=0,
+                                      destination=BROADCAST_ADDRESS, size_bytes=30))
+        sim.run()
+        assert channel.stats.losses > 0
+        assert len(handled) < 10
+
+    def test_cannot_send_packet_with_foreign_link_source(self):
+        _sim, _channel, nodes = self._stack()
+        packet = Packet(PacketKind.APP_DATA, source=1, destination=0, size_bytes=10,
+                        link_source=1, link_destination=0)
+        with pytest.raises(SimulationError):
+            nodes[0].send(packet)
+
+    def test_node_must_exist_in_topology(self):
+        sim = Simulator()
+        topo = square_topology()
+        channel = WirelessChannel(sim, topo)
+        with pytest.raises(SimulationError):
+            SimNode(99, channel)
+
+    def test_invalid_loss_probability(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            WirelessChannel(sim, square_topology(), loss_probability=1.5)
+
+    def test_packet_next_hop_copy_increments_hop_count(self):
+        packet = Packet(PacketKind.APP_DATA, source=0, destination=3, size_bytes=10)
+        relayed = packet.next_hop_copy(1, 3)
+        assert relayed.hop_count == packet.hop_count + 1
+        assert relayed.source == 0 and relayed.link_source == 1

@@ -1,0 +1,119 @@
+"""Tests for AODV and static shortest-path routing over the simulated
+channel."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.network import Packet, PacketKind, SimNode, Topology, WirelessChannel
+from repro.routing import (
+    AodvAgent,
+    StaticRoutingAgent,
+    install_shortest_path_routes,
+)
+from repro.simulator import Simulator
+
+
+def line_topology(length=4, spacing=5.0, rng=6.0):
+    return Topology.from_positions({i: (i * spacing, 0.0) for i in range(length)}, rng)
+
+
+def build_stack(topology, agent_factory):
+    sim = Simulator()
+    channel = WirelessChannel(sim, topology)
+    nodes = {i: SimNode(i, channel) for i in topology.node_ids}
+    agents = {i: agent_factory(nodes[i]) for i in topology.node_ids}
+    received = {i: [] for i in topology.node_ids}
+
+    def make_handler(node_id):
+        def handler(node, packet):
+            if packet.destination == node_id and packet.kind == PacketKind.APP_DATA:
+                received[node_id].append(packet)
+                return True
+            return False
+
+        return handler
+
+    for node_id, node in nodes.items():
+        node.add_handler(make_handler(node_id))
+    return sim, channel, nodes, agents, received
+
+
+class TestAodv:
+    def test_multi_hop_delivery_end_to_end(self):
+        topo = line_topology(4)
+        sim, channel, nodes, agents, received = build_stack(topo, AodvAgent)
+        packet = Packet(PacketKind.APP_DATA, source=0, destination=3,
+                        size_bytes=80, payload="window")
+        agents[0].send_data(packet)
+        sim.run()
+        assert len(received[3]) == 1
+        assert received[3][0].payload == "window"
+        assert received[3][0].hop_count >= 3
+
+    def test_route_discovery_installs_bidirectional_routes(self):
+        topo = line_topology(4)
+        sim, channel, nodes, agents, received = build_stack(topo, AodvAgent)
+        agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=3,
+                                   size_bytes=10))
+        sim.run()
+        assert agents[0].has_route(3)
+        assert agents[3].has_route(0)
+        assert agents[1].route(3).next_hop == 2
+
+    def test_subsequent_packets_reuse_routes(self):
+        topo = line_topology(3)
+        sim, channel, nodes, agents, received = build_stack(topo, AodvAgent)
+        agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=2, size_bytes=10))
+        sim.run()
+        control_after_first = sum(a.control_packets_sent for a in agents.values())
+        agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=2, size_bytes=10))
+        sim.run()
+        control_after_second = sum(a.control_packets_sent for a in agents.values())
+        assert control_after_second == control_after_first
+        assert len(received[2]) == 2
+
+    def test_refuses_self_and_broadcast_destinations(self):
+        topo = line_topology(2)
+        _sim, _channel, _nodes, agents, _received = build_stack(topo, AodvAgent)
+        with pytest.raises(RoutingError):
+            agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=0, size_bytes=1))
+        with pytest.raises(RoutingError):
+            agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=-1, size_bytes=1))
+
+    def test_duplicate_rreqs_are_suppressed(self):
+        topo = line_topology(3)
+        sim, channel, nodes, agents, received = build_stack(topo, AodvAgent)
+        agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=2, size_bytes=10))
+        sim.run()
+        # Node 1 forwards the request exactly once despite hearing echoes.
+        assert agents[1].control_packets_sent <= 2
+
+
+class TestStaticRouting:
+    def test_forwarding_along_installed_routes(self):
+        topo = line_topology(4)
+        sim, channel, nodes, agents, received = build_stack(topo, StaticRoutingAgent)
+        install_shortest_path_routes(agents, topo, sink=3)
+        agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=3, size_bytes=20))
+        sim.run()
+        assert len(received[3]) == 1
+
+    def test_sink_can_reply_to_every_node(self):
+        topo = line_topology(4)
+        sim, channel, nodes, agents, received = build_stack(topo, StaticRoutingAgent)
+        install_shortest_path_routes(agents, topo, sink=3)
+        agents[3].send_data(Packet(PacketKind.APP_DATA, source=3, destination=0, size_bytes=20))
+        sim.run()
+        assert len(received[0]) == 1
+
+    def test_missing_route_raises(self):
+        topo = line_topology(2)
+        _sim, _channel, _nodes, agents, _received = build_stack(topo, StaticRoutingAgent)
+        with pytest.raises(RoutingError):
+            agents[0].send_data(Packet(PacketKind.APP_DATA, source=0, destination=1, size_bytes=5))
+
+    def test_route_to_self_rejected(self):
+        topo = line_topology(2)
+        _sim, _channel, _nodes, agents, _received = build_stack(topo, StaticRoutingAgent)
+        with pytest.raises(RoutingError):
+            agents[0].set_route(0, 1)

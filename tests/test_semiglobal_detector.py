@@ -1,0 +1,131 @@
+"""Unit tests for the semi-global (localized) detection protocol
+(Algorithm 2)."""
+
+import pytest
+
+from repro.core import (
+    NearestNeighborDistance,
+    OutlierQuery,
+    SemiGlobalOutlierDetector,
+    make_point,
+)
+from repro.core.errors import ConfigurationError, ProtocolError
+
+
+def _detector(sensor_id=0, neighbors=(1,), d=2, n=1, variant="refined"):
+    query = OutlierQuery(NearestNeighborDistance(), n=n)
+    return SemiGlobalOutlierDetector(
+        sensor_id, query, hop_diameter=d, neighbors=neighbors, variant=variant
+    )
+
+
+def _points(values, origin=0, hop=0):
+    return [
+        make_point([float(v)], origin=origin, epoch=i, hop=hop)
+        for i, v in enumerate(values)
+    ]
+
+
+class TestConstruction:
+    def test_requires_positive_hop_diameter(self):
+        with pytest.raises(ConfigurationError):
+            _detector(d=0)
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            _detector(variant="bogus")
+
+    def test_both_variants_accepted(self):
+        assert _detector(variant="paper").variant == "paper"
+        assert _detector(variant="refined").variant == "refined"
+
+
+class TestHopHandling:
+    def test_outgoing_points_have_incremented_hops(self):
+        det = _detector()
+        message = det.add_local_points(_points([1.0, 30.0]))
+        assert message is not None
+        assert all(p.hop == 1 for p in message.payload_for(1))
+
+    def test_received_point_recorded_with_its_hop(self):
+        det = _detector()
+        incoming = [make_point([5.0], origin=2, epoch=0, hop=1)]
+        det.handle_message(1, incoming)
+        held = next(iter(det.holdings))
+        assert held.hop == 1
+
+    def test_lower_hop_copy_replaces_higher(self):
+        det = _detector(neighbors=(1, 2))
+        point = make_point([5.0], origin=3, epoch=0)
+        det.handle_message(1, [point.with_hop(2)])
+        det.handle_message(2, [point.with_hop(1)])
+        held = [p for p in det.holdings if p.same_rest(point)]
+        assert len(held) == 1 and held[0].hop == 1
+
+    def test_higher_hop_copy_is_ignored(self):
+        det = _detector(neighbors=(1, 2))
+        point = make_point([5.0], origin=3, epoch=0)
+        det.handle_message(1, [point.with_hop(1)])
+        assert det.handle_message(2, [point.with_hop(2)]) is None
+        assert det.stats.points_ignored == 1
+
+    def test_points_never_forwarded_beyond_the_hop_budget(self):
+        det = _detector(d=2)
+        # A point already at hop 2 (= d) must not be advertised further.
+        incoming = [make_point([50.0], origin=5, epoch=0, hop=2)]
+        message = det.handle_message(1, incoming)
+        if message is not None:
+            assert all(p.hop <= 2 for p in message.payload_for(1))
+            assert all(not p.same_rest(incoming[0]) for p in message.payload_for(1))
+
+    def test_local_points_must_have_hop_zero(self):
+        det = _detector()
+        with pytest.raises(ProtocolError):
+            det.add_local_points([make_point([1.0], 0, 0, hop=1)])
+
+
+class TestEvictionAndNeighborhood:
+    def test_eviction_matches_by_rest_fields(self):
+        det = _detector()
+        pts = _points([1.0, 2.0])
+        det.add_local_points(pts)
+        det.evict_points([pts[0].with_hop(2)])
+        assert pts[0] not in det.holdings
+
+    def test_neighborhood_change_resets_bookkeeping(self):
+        det = _detector(neighbors=(1,))
+        det.add_local_points(_points([1.0, 20.0]))
+        assert det.sent_to(1)
+        det.neighborhood_changed({2})
+        assert det.sent_to(1) == set()
+        assert det.neighbors == {2}
+
+    def test_update_local_data_is_a_single_event(self):
+        det = _detector()
+        pts = _points([1.0, 2.0])
+        det.add_local_points(pts)
+        before = det.stats.events_processed
+        det.update_local_data(_points([3.0]), pts[:1])
+        assert det.stats.events_processed == before + 1
+
+    def test_message_from_non_neighbor_rejected(self):
+        det = _detector(neighbors=(1,))
+        with pytest.raises(ProtocolError):
+            det.handle_message(9, _points([1.0], origin=9, hop=1))
+
+
+class TestSuppression:
+    def test_no_resend_of_points_the_neighbor_already_has(self):
+        det = _detector()
+        message = det.add_local_points(_points([1.0, 30.0]))
+        sent_once = set(message.payload_for(1))
+        # Processing an unrelated event must not resend the same points.
+        second = det.add_local_points(_points([2.0], origin=0))
+        if second is not None:
+            assert not (set(second.payload_for(1)) & sent_once)
+
+    def test_estimate_covers_all_hops(self):
+        det = _detector(d=2, n=1)
+        det.add_local_points(_points([20.0, 20.5]))
+        det.handle_message(1, [make_point([90.0], origin=4, epoch=0, hop=2)])
+        assert [p.values[0] for p in det.estimate()] == [90.0]

@@ -1,0 +1,128 @@
+"""Tests for the discrete-event engine, events and random streams."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulator import Event, EventPriority, RandomStreams, Simulator
+
+
+class TestEvent:
+    def test_ordering_by_time_then_priority_then_sequence(self):
+        early = Event(time=1.0)
+        late = Event(time=2.0)
+        high = Event(time=2.0, priority=EventPriority.HIGH)
+        assert early < late
+        assert high < late
+
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        event = Event(time=0.0, callback=fired.append, args=(1,))
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_early_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        event.cancel()
+        sim.run()
+        assert fired == ["y"]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            sim.schedule(1.0, fired.append, "second")
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_periodic_scheduling_respects_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda: ticks.append(sim.now), until=3.5)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_periodic_requires_positive_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_scheduled == 2
+        assert sim.events_executed == 2
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42).stream("channel")
+        b = RandomStreams(42).stream("channel")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        first = [streams.stream("a").random() for _ in range(3)]
+        again = RandomStreams(42)
+        again.stream("b").random()  # consuming another stream must not matter
+        second = [again.stream("a").random() for _ in range(3)]
+        assert first == second
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_creates_distinct_family(self):
+        parent = RandomStreams(7)
+        child = parent.spawn("rep-1")
+        assert child.master_seed != parent.master_seed
