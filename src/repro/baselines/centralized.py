@@ -7,12 +7,22 @@ result back to the sensors.  The transport (multi-hop AODV routing with
 end-to-end acknowledgements) lives in :mod:`repro.wsn.centralized_app`; this
 module holds the transport-free aggregation logic so it can also be used as
 an offline reference implementation.
+
+Although each upload *replaces* a sensor's stored window wholesale, the
+windows slide by one or two samples per round, so the aggregator diffs the
+old and new contents and maintains a reference-counted
+:class:`~repro.core.index.NeighborhoodIndex` over the union incrementally:
+per round the sink pays ``O(Δ · N)`` for the few points that actually
+entered or left the union instead of an ``O(N² · d)`` rebuild at every
+outlier computation.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..core.index import NeighborhoodIndex
 from ..core.outliers import OutlierQuery
 from ..core.points import DataPoint
 
@@ -23,25 +33,58 @@ class CentralizedAggregator:
     """Sink-side state of the centralized baseline.
 
     The aggregator keeps the most recent window reported by every sensor and
-    recomputes the global outlier set on demand.
+    recomputes the global outlier set on demand.  With ``indexed=True``
+    (default) the union of all windows is mirrored in an incremental
+    neighborhood index; ``indexed=False`` preserves the full-recompute
+    reference behavior.
     """
 
-    def __init__(self, query: OutlierQuery) -> None:
+    def __init__(self, query: OutlierQuery, indexed: bool = True) -> None:
         self.query = query
         self._windows: Dict[int, Set[DataPoint]] = {}
+        #: Number of reporting windows containing each union point; a point
+        #: enters the index on 0 -> 1 and leaves it on 1 -> 0.
+        self._multiplicity: Counter = Counter()
+        self._index: Optional[NeighborhoodIndex] = (
+            NeighborhoodIndex() if indexed else None
+        )
         self.updates_received = 0
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def update_window(self, node_id: int, points: Iterable[DataPoint]) -> None:
-        """Replace the stored window of ``node_id`` with ``points``."""
-        self._windows[int(node_id)] = {p for p in points}
+        """Replace the stored window of ``node_id`` with ``points``.
+
+        Only the symmetric difference against the previously stored window
+        touches the union bookkeeping and the index.
+        """
+        fresh = {p for p in points}
+        previous = self._windows.get(int(node_id), set())
+        self._windows[int(node_id)] = fresh
+        for point in fresh - previous:
+            self._multiplicity[point] += 1
+            if self._multiplicity[point] == 1 and self._index is not None:
+                self._index.add(point)
+        for point in previous - fresh:
+            self._release(point)
         self.updates_received += 1
 
     def forget(self, node_id: int) -> None:
         """Drop a sensor's contribution (e.g. when it leaves the network)."""
-        self._windows.pop(int(node_id), None)
+        previous = self._windows.pop(int(node_id), None)
+        if previous:
+            for point in previous:
+                self._release(point)
+
+    def _release(self, point: DataPoint) -> None:
+        remaining = self._multiplicity[point] - 1
+        if remaining > 0:
+            self._multiplicity[point] = remaining
+        else:
+            del self._multiplicity[point]
+            if self._index is not None:
+                self._index.discard(point)
 
     # ------------------------------------------------------------------
     # Queries
@@ -53,18 +96,15 @@ class CentralizedAggregator:
 
     def union(self) -> Set[DataPoint]:
         """The union of the most recent windows of every reporting sensor."""
-        result: Set[DataPoint] = set()
-        for points in self._windows.values():
-            result |= points
-        return result
+        return set(self._multiplicity)
 
     def window_of(self, node_id: int) -> Set[DataPoint]:
         return set(self._windows.get(int(node_id), set()))
 
     def compute_outliers(self) -> List[DataPoint]:
         """``O_n`` over the union of all reported windows (ordered)."""
-        return self.query.outliers(self.union())
+        return self.query.outliers(self.union(), index=self._index)
 
     def total_points(self) -> int:
         """Number of distinct points currently known to the sink."""
-        return len(self.union())
+        return len(self._multiplicity)

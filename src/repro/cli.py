@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=int, default=1, help="hop diameter (semi-global)")
     run.add_argument("--loss", type=float, default=0.0, help="packet loss probability")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the incremental neighborhood index and run the "
+        "full-recompute reference path (same results, slower; for "
+        "cross-checking)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a figure of the paper")
     figure.add_argument(
@@ -64,6 +71,7 @@ def _command_run(args: argparse.Namespace) -> int:
         k=args.k,
         window_length=args.window,
         hop_diameter=args.epsilon,
+        indexed=not args.no_index,
     )
     scenario = ScenarioConfig(
         detection=detection,

@@ -11,6 +11,14 @@ run in-network outlier detection over their own transport:
 * queries and reference answers: :class:`OutlierQuery`,
   :func:`top_n_outliers`, :func:`global_reference`,
   :func:`semi_global_reference`;
+* the incremental hot-path engine: :class:`NeighborhoodIndex`, a persistent
+  per-sensor structure caching every point's neighbor list sorted by
+  ``(distance, ≺)``.  Detectors update it per event with ``O(Δ·n)``
+  distance computations (plus C-level sorted-list maintenance) instead of
+  rebuilding an ``O(n²·d)`` pairwise-distance matrix, and every scoring,
+  support-set and sufficient-set computation accepts an optional ``index``
+  to run against the cache; results are bit-identical to the brute-force
+  reference paths, which remain available as the testing oracle;
 * the distributed detectors: :class:`GlobalOutlierDetector`,
   :class:`SemiGlobalOutlierDetector` and their shared
   :class:`OutlierMessage` packet type;
@@ -31,6 +39,7 @@ from .errors import (
     TopologyError,
 )
 from .global_detector import GlobalOutlierDetector
+from .index import IndexSubset, NeighborhoodIndex
 from .inmemory import DeliveryLog, InMemoryNetwork
 from .interfaces import DetectorStatistics, OutlierDetector
 from .messages import OutlierMessage
@@ -102,6 +111,9 @@ __all__ = [
     "semi_global_reference",
     "semi_global_reference_all",
     "hop_distances",
+    # incremental hot-path engine
+    "NeighborhoodIndex",
+    "IndexSubset",
     # support / sufficiency
     "support_set",
     "support_of_set",

@@ -57,6 +57,13 @@ class DetectionConfig:
     semiglobal_variant:
         ``"refined"`` or ``"paper"`` -- see
         :class:`~repro.core.semiglobal_detector.SemiGlobalOutlierDetector`.
+    indexed:
+        When ``True`` (default) every detector and the centralized sink
+        maintain an incremental
+        :class:`~repro.core.index.NeighborhoodIndex` (the hot-path engine);
+        ``False`` runs the full-recompute reference implementations.  The
+        two settings produce identical results -- the flag only trades CPU
+        for the ability to cross-check against the oracle.
     """
 
     algorithm: str = Algorithm.GLOBAL
@@ -67,6 +74,7 @@ class DetectionConfig:
     window_length: int = 20
     hop_diameter: int = 1
     semiglobal_variant: str = "refined"
+    indexed: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in Algorithm.ALL:
@@ -120,6 +128,10 @@ class DetectionConfig:
     def with_hop_diameter(self, hop_diameter: int) -> "DetectionConfig":
         """Copy of this configuration with a different ``epsilon``."""
         return replace(self, hop_diameter=hop_diameter)
+
+    def with_indexed(self, indexed: bool) -> "DetectionConfig":
+        """Copy of this configuration toggling the incremental index."""
+        return replace(self, indexed=indexed)
 
     def label(self) -> str:
         """Plot label matching the paper's naming convention."""

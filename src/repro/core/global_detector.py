@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set
 
 from .errors import ProtocolError
+from .index import NeighborhoodIndex
 from .interfaces import OutlierDetector
 from .messages import OutlierMessage
 from .outliers import OutlierQuery
@@ -45,6 +46,14 @@ class GlobalOutlierDetector(OutlierDetector):
         The ``(R, n)`` outlier query, shared by every sensor in the network.
     neighbors:
         Initial immediate neighborhood ``Γ_i``.
+    indexed:
+        When ``True`` (default) the detector owns a
+        :class:`~repro.core.index.NeighborhoodIndex` over ``P_i``, updated
+        incrementally on every addition/eviction, and every estimate,
+        support-set and sufficient-set computation runs against the cached
+        sorted-neighbor lists.  ``False`` selects the full-recompute
+        brute-force path (the reference oracle); both produce identical
+        protocol transcripts.
 
     Examples
     --------
@@ -64,12 +73,14 @@ class GlobalOutlierDetector(OutlierDetector):
         sensor_id: int,
         query: OutlierQuery,
         neighbors: Iterable[int] = (),
+        indexed: bool = True,
     ) -> None:
         super().__init__(sensor_id, query, neighbors)
         self._local: Set[DataPoint] = set()
         self._holdings: Set[DataPoint] = set()
         self._sent: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
         self._received: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
+        self._index = NeighborhoodIndex() if indexed else None
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -137,23 +148,30 @@ class GlobalOutlierDetector(OutlierDetector):
             if point not in self._holdings:
                 self._local.add(point)
                 self._holdings.add(point)
+                if self._index is not None:
+                    self._index.add(point)
                 self.stats.local_points_added += 1
                 added = True
         return added
 
     def _apply_evictions(self, points: Iterable[DataPoint]) -> bool:
-        evicted = False
-        for point in points:
-            if point in self._holdings:
-                self._holdings.discard(point)
-                self._local.discard(point)
-                evicted = True
-                self.stats.points_evicted += 1
-            for bucket in self._sent.values():
-                bucket.discard(point)
-            for bucket in self._received.values():
-                bucket.discard(point)
-        return evicted
+        removal = set(points)
+        if not removal:
+            return False
+        evicted = removal & self._holdings
+        self._holdings -= evicted
+        self._local -= evicted
+        if self._index is not None:
+            for point in evicted:
+                self._index.discard(point)
+        # Bookkeeping entries for departed points are dropped from every
+        # per-neighbor bucket in one batched set difference per bucket.
+        for bucket in self._sent.values():
+            bucket -= removal
+        for bucket in self._received.values():
+            bucket -= removal
+        self.stats.points_evicted += len(evicted)
+        return bool(evicted)
 
     def handle_message(
         self, sender: int, points: Iterable[DataPoint]
@@ -173,6 +191,8 @@ class GlobalOutlierDetector(OutlierDetector):
                 self.stats.points_ignored += 1
                 continue
             self._holdings.add(point)
+            if self._index is not None:
+                self._index.add(point)
             self._received[sender].add(point)
             self.stats.points_received += 1
         self.stats.events_processed += 1
@@ -210,8 +230,11 @@ class GlobalOutlierDetector(OutlierDetector):
         # O_n(P_i) and its support depend only on P_i; compute them once for
         # this event and reuse them for every neighbor.
         holdings = list(self._holdings)
-        estimate = self.query.outliers(holdings)
-        estimate_support = support_of_set(self.query.ranking, estimate, holdings)
+        index = self._index
+        estimate = self.query.outliers(holdings, index=index)
+        estimate_support = support_of_set(
+            self.query.ranking, estimate, holdings, index=index
+        )
         for neighbor in sorted(self._neighbors):
             shared = self._sent[neighbor] | self._received[neighbor]
             sufficient = compute_sufficient_set(
@@ -220,6 +243,7 @@ class GlobalOutlierDetector(OutlierDetector):
                 shared,
                 estimate=estimate,
                 estimate_support=estimate_support,
+                index=index,
             )
             to_send = sufficient - shared
             if to_send:

@@ -60,6 +60,11 @@ class DetectorStatistics:
 class OutlierDetector(ABC):
     """Common API of the global and semi-global detectors."""
 
+    #: Optional :class:`~repro.core.index.NeighborhoodIndex` over ``P_i``;
+    #: concrete detectors that maintain one set this in their constructor so
+    #: the shared query helpers below can use the incremental fast path.
+    _index = None
+
     def __init__(
         self,
         sensor_id: int,
@@ -91,9 +96,15 @@ class OutlierDetector(ABC):
     def local_data(self) -> Set[DataPoint]:
         """``D_i``: the points that originated at this sensor."""
 
+    @property
+    def indexed(self) -> bool:
+        """Whether this detector maintains an incremental neighborhood
+        index (the hot path) or recomputes from scratch (the oracle)."""
+        return self._index is not None
+
     def estimate(self) -> List[DataPoint]:
         """The sensor's current outlier estimate ``O_n(P_i)`` (ordered)."""
-        return self.query.outliers(self.holdings)
+        return self.query.outliers(self.holdings, index=self._index)
 
     def estimate_set(self) -> Set[DataPoint]:
         """The sensor's current outlier estimate as a set."""
@@ -144,10 +155,16 @@ class OutlierDetector(ABC):
     # ------------------------------------------------------------------
     # Convenience wrappers
     # ------------------------------------------------------------------
+    def expired_holdings(self, cutoff: float) -> List[DataPoint]:
+        """Held points whose timestamp is strictly below ``cutoff`` -- the
+        sliding-window deletion rule of Section 5.3, applied to *every* held
+        point regardless of where it originated."""
+        return [p for p in self.holdings if p.timestamp < cutoff]
+
     def evict_older_than(self, cutoff: float) -> Optional[OutlierMessage]:
         """Evict every held point whose timestamp is strictly below
         ``cutoff`` (the sliding-window deletion rule of Section 5.3)."""
-        expired = [p for p in self.holdings if p.timestamp < cutoff]
+        expired = self.expired_holdings(cutoff)
         if not expired:
             return None
         return self.evict_points(expired)

@@ -60,6 +60,19 @@ class DataPoint:
         # Normalise the value container to a tuple of floats so that equality
         # and hashing behave identically regardless of the caller's container.
         object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+        # Points live in sets and dict keys on every hot path (holdings,
+        # per-neighbor buckets, the neighborhood index); an immutable point is
+        # hashed thousands of times per protocol event, so the hash is
+        # computed once.  Equal points (all fields, timestamp included) agree
+        # on this hash; points differing only in timestamp merely collide.
+        object.__setattr__(
+            self,
+            "_cached_hash",
+            hash((self.values, self.origin, self.epoch, self.hop)),
+        )
+
+    def __hash__(self) -> int:
+        return self._cached_hash
 
     # ------------------------------------------------------------------
     # Derived views
@@ -152,7 +165,7 @@ def distance(a: DataPoint, b: DataPoint) -> float:
         raise ValueError(
             f"dimension mismatch: {len(a.values)} != {len(b.values)}"
         )
-    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a.values, b.values)))
+    return math.dist(a.values, b.values)
 
 
 def min_hop_merge(points: Iterable[DataPoint]) -> list[DataPoint]:

@@ -31,6 +31,7 @@ Every ranking function also knows how to compute the *minimal support set*
 
 from __future__ import annotations
 
+import bisect
 import math
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
@@ -82,6 +83,39 @@ def _sorted_by_distance(x: DataPoint, candidates: Sequence[DataPoint]) -> list[D
     return sorted(candidates, key=lambda q: (distance(x, q), sort_key(q)))
 
 
+def _nearest_indexed(index, x: DataPoint, k: int, subset) -> list:
+    """First ``k`` entries of ``x``'s cached neighbor list, as
+    ``(distance, slot)`` pairs, restricted to ``subset`` when given.
+
+    The cached list is already sorted by ``(distance, ≺)``, so the full-index
+    case is a slice and the subset case a short masked walk -- no distance is
+    recomputed and the order matches the brute-force ``_sorted_by_distance``
+    exactly.
+    """
+    entries = index.entries(x)
+    if subset is None:
+        return [(dist, slot) for dist, _, slot in entries[:k]]
+    mask = subset.mask
+    nearest = []
+    for dist, _, slot in entries:
+        if mask[slot]:
+            nearest.append((dist, slot))
+            if len(nearest) == k:
+                break
+    return nearest
+
+
+def _within_indexed(index, x: DataPoint, alpha: float, subset) -> list:
+    """Slots of ``x``'s neighbors at distance ``<= alpha`` (members of
+    ``subset`` when given), via bisection on the cached sorted list."""
+    entries = index.entries(x)
+    cut = bisect.bisect_right(entries, alpha, key=lambda e: e[0])
+    if subset is None:
+        return [slot for _, _, slot in entries[:cut]]
+    mask = subset.mask
+    return [slot for _, _, slot in entries[:cut] if mask[slot]]
+
+
 class RankingFunction(ABC):
     """Abstract outlier ranking function.
 
@@ -108,6 +142,45 @@ class RankingFunction(ABC):
         """
 
     # ------------------------------------------------------------------
+    # Index-aware fast paths
+    #
+    # ``index`` is a :class:`repro.core.index.NeighborhoodIndex` caching every
+    # point's neighbor list sorted by ``(distance, ≺)``; ``subset`` is the
+    # optional :class:`repro.core.index.IndexSubset` membership mask produced
+    # by ``index.try_subset`` (``None`` means "against the whole index").
+    # The brute-force :meth:`score`/:meth:`support` remain the reference
+    # oracle; the default indexed implementations below fall back to them so
+    # user-defined ranking functions keep working unchanged, while the
+    # built-in rankings override with O(k)-per-point walks over the cached
+    # sorted lists.
+    # ------------------------------------------------------------------
+    def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        """``R(x, Q)`` where ``Q`` is the index content filtered by
+        ``subset``.  Default: materialise and defer to :meth:`score`."""
+        return self.score(x, self._materialize(index, subset))
+
+    def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        """``[Q|x]`` over the index content filtered by ``subset``."""
+        return self.support(x, self._materialize(index, subset))
+
+    def bulk_scores_indexed(
+        self, index, points: Sequence[DataPoint], subset=None
+    ) -> List[float]:
+        """Score each of ``points`` against the index content filtered by
+        ``subset`` (each point must itself be indexed)."""
+        return [self.score_indexed(index, p, subset) for p in points]
+
+    @staticmethod
+    def _materialize(index, subset) -> List[DataPoint]:
+        if subset is None:
+            return list(index.points())
+        return [
+            index.point_at(slot)
+            for slot, member in enumerate(subset.mask)
+            if member
+        ]
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def scores(self, Q: Iterable[DataPoint]) -> dict[DataPoint, float]:
@@ -128,15 +201,29 @@ class RankingFunction(ABC):
     def _pairwise_distances(Q: Sequence[DataPoint]) -> "np.ndarray":
         """All-pairs Euclidean distance matrix over the value vectors.
 
+        Every entry is computed with ``math.dist`` -- the same function the
+        scalar :meth:`score`/:meth:`support` paths and the incremental
+        :class:`~repro.core.index.NeighborhoodIndex` use -- so all code
+        paths see bit-identical distances.  (A vectorised
+        ``sqrt((a-b)²).sum())`` can differ from ``math.dist`` in the last
+        ulp, which is enough to flip a tie-break and desynchronise the
+        indexed and brute-force answers on quantised sensor readings.)
+
         Entries between points that share the same ``≺`` key (i.e. copies of
         the same observation) are set to ``+inf`` so they are never counted
         as each other's neighbors, mirroring the candidate-exclusion rule of
         :func:`_neighbors`.
         """
-        values = np.asarray([q.values for q in Q], dtype=float)
-        diff = values[:, None, :] - values[None, :, :]
-        matrix = np.sqrt((diff * diff).sum(axis=-1))
-        np.fill_diagonal(matrix, np.inf)
+        size = len(Q)
+        matrix = np.full((size, size), np.inf)
+        values = [q.values for q in Q]
+        dist = math.dist
+        for i in range(size):
+            row_values = values[i]
+            for j in range(i + 1, size):
+                d = dist(row_values, values[j])
+                matrix[i, j] = d
+                matrix[j, i] = d
         # Copies of the same observation (identical ``≺`` keys, e.g. hop
         # variants) must not count as each other's neighbors either.
         groups: dict = {}
@@ -202,6 +289,34 @@ class KthNearestNeighborDistance(RankingFunction):
             return frozenset(candidates)
         return frozenset(candidates[: self.k])
 
+    def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        if subset is None:
+            entries = index.entries(x)
+            if len(entries) < self.k:
+                return (self.k - len(entries)) * DEFICIT_UNIT
+            return entries[self.k - 1][0]
+        distances = _nearest_indexed(index, x, self.k, subset)
+        if len(distances) < self.k:
+            return (self.k - len(distances)) * DEFICIT_UNIT
+        return distances[-1][0]
+
+    def bulk_scores_indexed(
+        self, index, points: Sequence[DataPoint], subset=None
+    ) -> List[float]:
+        if subset is not None:
+            return [self.score_indexed(index, p, subset) for p in points]
+        k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
+        return [
+            entries[k - 1][0]
+            if len(entries := entries_of(p)) >= k
+            else (k - len(entries)) * deficit
+            for p in points
+        ]
+
+    def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        nearest = _nearest_indexed(index, x, self.k, subset)
+        return frozenset(index.point_at(slot) for _, slot in nearest)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KthNearestNeighborDistance(k={self.k})"
 
@@ -245,7 +360,11 @@ class AverageKNNDistance(RankingFunction):
             if finite < self.k:
                 scores.append((self.k - finite) * DEFICIT_UNIT)
             else:
-                scores.append(float(row[: self.k].mean()))
+                # Left-to-right Python summation, not numpy mean(): numpy
+                # switches to pairwise summation at >= 8 elements, which can
+                # differ in the last ulp from the scalar oracle's
+                # ``sum(dists[:k]) / k`` and desynchronise tie-breaks.
+                scores.append(sum(row[: self.k].tolist()) / self.k)
         return scores
 
     def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
@@ -253,6 +372,36 @@ class AverageKNNDistance(RankingFunction):
         if len(candidates) < self.k:
             return frozenset(candidates)
         return frozenset(candidates[: self.k])
+
+    def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        if subset is None:
+            entries = index.entries(x)
+            if len(entries) < self.k:
+                return (self.k - len(entries)) * DEFICIT_UNIT
+            # Ascending left-to-right sum, matching the scalar oracle
+            # bit-for-bit.
+            return sum(e[0] for e in entries[: self.k]) / self.k
+        nearest = _nearest_indexed(index, x, self.k, subset)
+        if len(nearest) < self.k:
+            return (self.k - len(nearest)) * DEFICIT_UNIT
+        return sum(dist for dist, _ in nearest) / self.k
+
+    def bulk_scores_indexed(
+        self, index, points: Sequence[DataPoint], subset=None
+    ) -> List[float]:
+        if subset is not None:
+            return [self.score_indexed(index, p, subset) for p in points]
+        k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
+        return [
+            sum(e[0] for e in entries[:k]) / k
+            if len(entries := entries_of(p)) >= k
+            else (k - len(entries)) * deficit
+            for p in points
+        ]
+
+    def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        nearest = _nearest_indexed(index, x, self.k, subset)
+        return frozenset(index.point_at(slot) for _, slot in nearest)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AverageKNNDistance(k={self.k})"
@@ -294,6 +443,15 @@ class NeighborCountWithinRadius(RankingFunction):
         # support set must contain all of them (dropping any one changes the
         # count), so the minimal support set is exactly that set.
         return frozenset(self._within(x, P))
+
+    def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        return 1.0 / (1.0 + len(_within_indexed(index, x, self.alpha, subset)))
+
+    def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        return frozenset(
+            index.point_at(slot)
+            for slot in _within_indexed(index, x, self.alpha, subset)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NeighborCountWithinRadius(alpha={self.alpha!r})"

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set
 
 from .errors import ConfigurationError, ProtocolError
+from .index import NeighborhoodIndex
 from .interfaces import OutlierDetector
 from .messages import OutlierMessage
 from .outliers import OutlierQuery
@@ -72,6 +73,15 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         lets the fixpoint see the whole shared set, which restores the
         refutation path and markedly improves accuracy at no change in
         message complexity.  ``"paper"`` reproduces the literal pseudo-code.
+    indexed:
+        When ``True`` (default) the detector maintains an incremental
+        :class:`~repro.core.index.NeighborhoodIndex` over its holdings.  The
+        ``[·]^min`` merge is index-aware: replacing a held copy by a
+        smaller-hop copy of the same observation relabels the index slot in
+        ``O(1)`` without invalidating any cached distance (the geometry only
+        depends on the ``rest`` fields), and the per-hop-level estimates of
+        Algorithm 2 become masked walks over the cached sorted-neighbor
+        lists.  ``False`` selects the brute-force reference path.
     """
 
     VARIANTS = ("refined", "paper")
@@ -83,6 +93,7 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         hop_diameter: int,
         neighbors: Iterable[int] = (),
         variant: str = "refined",
+        indexed: bool = True,
     ) -> None:
         super().__init__(sensor_id, query, neighbors)
         if hop_diameter < 1:
@@ -105,6 +116,21 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         self._received: Dict[int, Dict[RestKey, DataPoint]] = {
             j: {} for j in self._neighbors
         }
+        self._index = NeighborhoodIndex() if indexed else None
+
+    # ------------------------------------------------------------------
+    # Index maintenance (min-hop-merge aware)
+    # ------------------------------------------------------------------
+    def _index_put(self, previous: Optional[DataPoint], point: DataPoint) -> None:
+        """Record that ``holdings[point.rest]`` changed from ``previous`` to
+        ``point``.  A hop-only change relabels the slot in O(1); a genuinely
+        new observation is inserted incrementally."""
+        if self._index is None:
+            return
+        if previous is None:
+            self._index.add(point)
+        else:
+            self._index.replace(previous, point)
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -166,26 +192,35 @@ class SemiGlobalOutlierDetector(OutlierDetector):
                 raise ProtocolError(
                     f"locally sampled points must have hop 0, got {point!r}"
                 )
-            if point.rest in self._holdings and self._holdings[point.rest].hop == 0:
+            previous = self._holdings.get(point.rest)
+            if previous is not None and previous.hop == 0:
                 continue
             self._local[point.rest] = point
             self._holdings[point.rest] = point
+            self._index_put(previous, point)
             self.stats.local_points_added += 1
             added = True
         return added
 
     def _apply_evictions(self, points: Iterable[DataPoint]) -> bool:
+        keys = {point.rest for point in points}
+        if not keys:
+            return False
         evicted = False
-        for point in points:
-            key = point.rest
-            if key in self._holdings:
-                del self._holdings[key]
+        for key in keys:
+            previous = self._holdings.pop(key, None)
+            if previous is not None:
                 self._local.pop(key, None)
+                if self._index is not None:
+                    self._index.discard(previous)
                 evicted = True
                 self.stats.points_evicted += 1
-            for bucket in self._sent.values():
+        # One batched pass per bucket instead of one scan per evicted point.
+        for bucket in self._sent.values():
+            for key in keys:
                 bucket.pop(key, None)
-            for bucket in self._received.values():
+        for bucket in self._received.values():
+            for key in keys:
                 bucket.pop(key, None)
         return evicted
 
@@ -203,13 +238,17 @@ class SemiGlobalOutlierDetector(OutlierDetector):
             current = self._holdings.get(key)
             if current is None:
                 self._holdings[key] = point
+                self._index_put(None, point)
                 self._record_received(sender, point)
                 self.stats.points_received += 1
                 changed = True
             elif point.hop < current.hop:
                 # A shorter path to the same observation: replace the held
-                # copy (it may now influence more distant hop levels).
+                # copy (it may now influence more distant hop levels).  The
+                # index slot is relabelled in O(1) -- the geometry is
+                # untouched by a hop change.
                 self._holdings[key] = point
+                self._index_put(current, point)
                 self._record_received(sender, point)
                 self.stats.points_received += 1
                 changed = True
@@ -317,9 +356,9 @@ class SemiGlobalOutlierDetector(OutlierDetector):
             if not level_holdings:
                 data.append((level_holdings, [], set()))
                 continue
-            estimate = self.query.outliers(level_holdings)
+            estimate = self.query.outliers(level_holdings, index=self._index)
             estimate_support = support_of_set(
-                self.query.ranking, estimate, level_holdings
+                self.query.ranking, estimate, level_holdings, index=self._index
             )
             data.append((level_holdings, estimate, estimate_support))
         return data
@@ -347,6 +386,7 @@ class SemiGlobalOutlierDetector(OutlierDetector):
                 shared,
                 estimate=estimate,
                 estimate_support=estimate_support,
+                index=self._index,
             )
             for point in sufficient:
                 forwarded = point.incremented()

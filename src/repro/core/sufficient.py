@@ -36,6 +36,7 @@ def compute_sufficient_set(
     known_shared: Iterable,
     estimate: Iterable = None,
     estimate_support: Iterable = None,
+    index=None,
 ) -> Set:
     """Compute a set ``Z`` satisfying eq. (2).
 
@@ -53,6 +54,12 @@ def compute_sufficient_set(
         depend only on ``P_i``, so a sensor processing one event for several
         neighbors computes them once and passes them in; when omitted they
         are computed here.
+    index:
+        Optional :class:`~repro.core.index.NeighborhoodIndex` covering
+        ``holdings ∪ known_shared``.  With it, every fixpoint iteration does
+        set algebra over the cached sorted-neighbor lists (masked walks)
+        instead of rebuilding a pairwise-distance matrix; the result is
+        identical either way.
 
     Returns
     -------
@@ -63,15 +70,30 @@ def compute_sufficient_set(
     P = list(holdings)
     shared = set(known_shared)
 
+    # Resolve the membership mask of P once: every fixpoint iteration takes
+    # supports within the same P, so the O(|P|) coverage check must not be
+    # repeated per iteration.
+    ranking = query.ranking
+    P_subset = None
+    use_index = False
+    if index is not None:
+        use_index, P_subset = index.try_subset(P)
+
     if estimate is None:
-        estimate = query.outliers(P)
+        estimate = query.outliers(P, index=index)
     if estimate_support is None:
-        estimate_support = support_of_set(query.ranking, estimate, P)
+        estimate_support = support_of_set(ranking, estimate, P, index=index)
     Z: Set = set(estimate) | set(estimate_support)
 
     while True:
         combined = shared | Z
-        closure = support_of_set(query.ranking, query.outliers(combined), P)
+        outliers = query.outliers(combined, index=index)
+        if use_index and index.covers(outliers):
+            closure: Set = set()
+            for x in outliers:
+                closure |= ranking.support_indexed(index, x, P_subset)
+        else:
+            closure = support_of_set(ranking, outliers, P)
         if closure <= Z:
             break
         Z |= closure

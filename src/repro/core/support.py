@@ -23,22 +23,47 @@ __all__ = ["support_set", "support_of_set", "is_support_set"]
 
 
 def support_set(
-    ranking: RankingFunction, x: DataPoint, P: Iterable[DataPoint]
+    ranking: RankingFunction, x: DataPoint, P: Iterable[DataPoint], index=None
 ) -> FrozenSet[DataPoint]:
-    """Return the unique smallest support set ``[P|x]``."""
+    """Return the unique smallest support set ``[P|x]``.
+
+    With a covering :class:`~repro.core.index.NeighborhoodIndex` the support
+    is read off the cached sorted-neighbor list in ``O(k)`` instead of
+    re-sorting every candidate.
+    """
+    if index is not None and x in index:
+        P_list = list(P)
+        covered, subset = index.try_subset(P_list)
+        if covered:
+            return ranking.support_indexed(index, x, subset)
+        return ranking.support(x, P_list)
     return ranking.support(x, P)
 
 
 def support_of_set(
-    ranking: RankingFunction, Q: Iterable[DataPoint], P: Iterable[DataPoint]
+    ranking: RankingFunction,
+    Q: Iterable[DataPoint],
+    P: Iterable[DataPoint],
+    index=None,
 ) -> Set[DataPoint]:
     """Return ``[P|Q] = ∪_{x∈Q} [P|x]``.
 
-    ``P`` is materialised once so that it may be any iterable.
+    ``P`` is materialised once so that it may be any iterable.  When
+    ``index`` covers both ``Q`` and ``P`` the membership mask over ``P`` is
+    built once and every per-point support is a short walk over precomputed
+    ranks.
     """
     P_list = list(P)
-    result: Set[DataPoint] = set()
-    for x in Q:
+    Q_list = list(Q)
+    if index is not None and Q_list:
+        covered, subset = index.try_subset(P_list)
+        if covered and index.covers(Q_list):
+            result: Set[DataPoint] = set()
+            for x in Q_list:
+                result |= ranking.support_indexed(index, x, subset)
+            return result
+    result = set()
+    for x in Q_list:
         result |= ranking.support(x, P_list)
     return result
 

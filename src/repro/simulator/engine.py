@@ -163,8 +163,16 @@ class Simulator:
         return sum(1 for e in self._queue if not e.cancelled)
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or ``None`` when idle."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
+        """Time of the next pending event, or ``None`` when idle.
+
+        Cancelled events at the head of the heap are lazily discarded here
+        (mirroring :meth:`step`) so repeated peeks stay ``O(1)`` amortised
+        instead of sorting the whole queue on every call.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return head.time
         return None

@@ -171,11 +171,12 @@ class CentralizedSinkApp:
         routing: RoutingAgent,
         query: OutlierQuery,
         window_length: float,
+        indexed: bool = True,
     ) -> None:
         self.node = node
         self.routing = routing
         self.query = query
-        self.aggregator = CentralizedAggregator(query)
+        self.aggregator = CentralizedAggregator(query, indexed=indexed)
         self.window = SlidingWindow(window_length)
         self.round_index = -1
         self.last_outliers: List[DataPoint] = []

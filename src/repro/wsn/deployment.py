@@ -91,7 +91,10 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
 
         if scenario.algorithm == Algorithm.GLOBAL:
             detector: OutlierDetector = GlobalOutlierDetector(
-                node_id, query, neighbors=topology.neighbors(node_id)
+                node_id,
+                query,
+                neighbors=topology.neighbors(node_id),
+                indexed=scenario.detection.indexed,
             )
             deployment.detectors[node_id] = detector
             deployment.apps[node_id] = DistributedDetectorApp(
@@ -108,6 +111,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
                 hop_diameter=scenario.detection.hop_diameter,
                 neighbors=topology.neighbors(node_id),
                 variant=scenario.detection.semiglobal_variant,
+                indexed=scenario.detection.indexed,
             )
             deployment.detectors[node_id] = detector
             deployment.apps[node_id] = DistributedDetectorApp(
@@ -129,6 +133,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
                     routing,
                     query,
                     window_length=scenario.detection.window_length,
+                    indexed=scenario.detection.indexed,
                 )
             else:
                 deployment.apps[node_id] = CentralizedClientApp(

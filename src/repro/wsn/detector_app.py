@@ -55,7 +55,7 @@ class DistributedDetectorApp:
         added, _local_expired = self.window.slide(now, [point])
         # The paper's window rule deletes *every* held point that fell out of
         # the window, regardless of where it originated.
-        expired = [p for p in self.detector.holdings if p.timestamp < cutoff]
+        expired = self.detector.expired_holdings(cutoff)
         message = self.detector.update_local_data(added, expired)
         self.rounds_processed += 1
         self._broadcast(message)

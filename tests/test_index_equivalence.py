@@ -1,0 +1,460 @@
+"""Randomized equivalence suite: the incremental index vs the brute oracle.
+
+Theorems 1-2 of the paper hold only if every sensor computes ``O_n(P_i)``,
+the support sets ``[P|x]`` and the sufficient sets *exactly*; an index that
+is merely "approximately right" would silently break convergence.  These
+tests therefore drive the :class:`~repro.core.index.NeighborhoodIndex`
+engine and the full-recompute reference implementations through identical
+randomized workloads -- scores, minimal support sets, sufficient-set
+fixpoints and complete detector protocol transcripts -- across all four
+ranking functions and arbitrary add/evict/message/neighborhood-change
+interleavings, asserting set-level identity (not approximate closeness).
+
+Two data regimes are exercised:
+
+* *continuous* Gaussian clouds (the generic case);
+* *integer grids*, where many pairwise distances collide exactly and every
+  floating-point path (scalar ``math.dist``, the numpy matrix oracle, the
+  cached index lists) is provably bit-identical, so the ``≺`` tie-breaking
+  logic is stressed hard.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.centralized import CentralizedAggregator
+from repro.core import (
+    AverageKNNDistance,
+    GlobalOutlierDetector,
+    InMemoryNetwork,
+    KthNearestNeighborDistance,
+    NearestNeighborDistance,
+    NeighborCountWithinRadius,
+    NeighborhoodIndex,
+    OutlierQuery,
+    SemiGlobalOutlierDetector,
+    compute_sufficient_set,
+    global_reference,
+    make_point,
+    satisfies_sufficiency,
+    semi_global_reference_all,
+    support_of_set,
+    top_n_outliers,
+)
+from repro.core.errors import RankingError
+
+
+def random_connected_adjacency(rng: random.Random, sensors: int):
+    """A random connected graph: a random tree plus a few extra edges.
+
+    (Local copy of the helper in ``tests/conftest.py`` -- importing the
+    ``conftest`` module by name would collide with ``benchmarks/conftest.py``
+    when the whole repository is collected in one pytest run.)
+    """
+    adjacency = {i: set() for i in range(sensors)}
+    order = list(range(sensors))
+    rng.shuffle(order)
+    for index in range(1, sensors):
+        other = rng.choice(order[:index])
+        adjacency[order[index]].add(other)
+        adjacency[other].add(order[index])
+    for _ in range(rng.randint(0, sensors)):
+        a, b = rng.sample(range(sensors), 2)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return {node: sorted(neighbors) for node, neighbors in adjacency.items()}
+
+
+RANKINGS = [
+    NearestNeighborDistance(),
+    KthNearestNeighborDistance(k=3),
+    AverageKNNDistance(k=4),
+    # k >= 8 matters: numpy switches to pairwise summation there, so this
+    # regime guards the left-to-right summation agreement between the bulk
+    # oracle and the scalar/indexed paths.
+    AverageKNNDistance(k=9),
+    NeighborCountWithinRadius(alpha=6.0),
+]
+RANKING_IDS = ["nn", "kth-nn", "knn", "knn9", "count"]
+
+
+def _cloud(rng: random.Random, count: int, dim: int = 2, origin: int = 0,
+           start_epoch: int = 0, grid: str = "continuous"):
+    """Random dataset in one of three regimes.
+
+    ``"continuous"`` -- Gaussian coordinates (generic position, no ties);
+    ``"int-grid"``   -- integer coordinates (exact arithmetic, many ties);
+    ``"tenth-grid"`` -- integers scaled by 0.1, i.e. quantised sensor
+    readings: distances tie *mathematically* but the coordinates are not
+    exactly representable, so any code path computing distances with a
+    different floating-point recipe rounds the ties apart and flips the
+    ``≺`` tie-break.  This regime is what caught the ``math.dist`` vs
+    vectorised-numpy divergence.
+    """
+    points = []
+    for i in range(count):
+        if grid == "int-grid":
+            values = [float(rng.randint(-8, 8)) for _ in range(dim)]
+        elif grid == "tenth-grid":
+            values = [rng.randint(-40, 40) * 0.1 for _ in range(dim)]
+        else:
+            values = [rng.gauss(0.0, 10.0) for _ in range(dim)]
+        points.append(make_point(values, origin=origin, epoch=start_epoch + i))
+    return points
+
+
+GRID_REGIMES = ["continuous", "int-grid", "tenth-grid"]
+
+
+# ----------------------------------------------------------------------
+# Index mechanics
+# ----------------------------------------------------------------------
+class TestIndexMechanics:
+    def test_add_discard_roundtrip(self):
+        rng = random.Random(7)
+        pts = _cloud(rng, 20)
+        index = NeighborhoodIndex(pts)
+        assert len(index) == 20
+        assert index.covers(pts)
+        assert index.add(pts[0]) is False  # already present
+        assert index.discard(pts[3]) is True
+        assert index.discard(pts[3]) is False
+        assert pts[3] not in index
+        assert len(index) == 19
+
+    def test_slot_reuse_after_eviction(self):
+        rng = random.Random(8)
+        pts = _cloud(rng, 10)
+        index = NeighborhoodIndex(pts)
+        for p in pts[:5]:
+            index.discard(p)
+        fresh = _cloud(rng, 5, origin=1)
+        for p in fresh:
+            index.add(p)
+        ranking = NearestNeighborDistance()
+        remaining = pts[5:] + fresh
+        for x in remaining:
+            assert ranking.score_indexed(index, x) == ranking.score(x, remaining)
+
+    def test_replace_is_hop_only(self):
+        rng = random.Random(9)
+        pts = _cloud(rng, 6)
+        index = NeighborhoodIndex(pts)
+        promoted = pts[2].with_hop(3)
+        assert index.replace(pts[2], promoted) is True
+        assert promoted in index and pts[2] not in index
+        # Geometry is untouched: scores still match the oracle.
+        mirror = pts[:2] + [promoted] + pts[3:]
+        ranking = AverageKNNDistance(k=2)
+        for x in mirror:
+            assert ranking.score_indexed(index, x) == ranking.score(x, mirror)
+
+    def test_replace_rejects_different_observation(self):
+        rng = random.Random(10)
+        pts = _cloud(rng, 3)
+        index = NeighborhoodIndex(pts)
+        with pytest.raises(RankingError):
+            index.replace(pts[0], make_point([99.0, 99.0], origin=5, epoch=77))
+
+    def test_dimension_mismatch_rejected(self):
+        index = NeighborhoodIndex([make_point([1.0, 2.0], 0, 0)])
+        with pytest.raises(RankingError):
+            index.add(make_point([1.0], 0, 1))
+
+    def test_same_observation_copies_are_not_neighbors(self):
+        base = make_point([0.0], origin=0, epoch=0)
+        twin = base.with_hop(2)           # same ``rest``, different hop
+        far = make_point([5.0], origin=0, epoch=1)
+        index = NeighborhoodIndex([base, twin, far])
+        ranking = NearestNeighborDistance()
+        # The hop twin must not count as base's nearest neighbor.
+        assert ranking.score_indexed(index, base) == 5.0
+        assert ranking.score(base, [base, twin, far]) == 5.0
+
+    def test_try_subset_full_vs_partial(self):
+        rng = random.Random(11)
+        pts = _cloud(rng, 12)
+        index = NeighborhoodIndex(pts)
+        covered, subset = index.try_subset(pts)
+        assert covered and subset is None
+        covered, subset = index.try_subset(pts[:5])
+        assert covered and subset is not None and subset.size == 5
+        covered, subset = index.try_subset(pts[:2] + [make_point([0.0, 0.0], 9, 9)])
+        assert not covered
+
+
+# ----------------------------------------------------------------------
+# Scores and minimal support sets under churn
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("grid", GRID_REGIMES)
+@pytest.mark.parametrize("ranking", RANKINGS, ids=RANKING_IDS)
+def test_scores_and_supports_match_oracle_under_churn(ranking, grid):
+    rng = random.Random(hash((type(ranking).__name__, grid)) & 0xFFFF)
+    mirror = _cloud(rng, 30, grid=grid)
+    index = NeighborhoodIndex(mirror)
+    next_epoch = 1000
+    for step in range(120):
+        roll = rng.random()
+        if roll < 0.45 and len(mirror) > 4:
+            victim = rng.choice(mirror)
+            mirror.remove(victim)
+            assert index.discard(victim)
+        else:
+            fresh = _cloud(rng, 1, origin=1, start_epoch=next_epoch, grid=grid)[0]
+            next_epoch += 1
+            mirror.append(fresh)
+            assert index.add(fresh)
+        if step % 10 != 0:
+            continue
+        # Full-index scoring: indexed walk vs scalar oracle, bit-exact.
+        for x in rng.sample(mirror, min(6, len(mirror))):
+            assert ranking.score_indexed(index, x) == ranking.score(x, mirror)
+            assert ranking.support_indexed(index, x) == ranking.support(x, mirror)
+        # Subset scoring: masked walk vs scalar oracle on the subset.
+        sub = rng.sample(mirror, max(3, len(mirror) // 2))
+        covered, subset = index.try_subset(sub)
+        assert covered
+        for x in rng.sample(sub, min(5, len(sub))):
+            assert ranking.score_indexed(index, x, subset) == ranking.score(x, sub)
+            assert ranking.support_indexed(index, x, subset) == ranking.support(x, sub)
+        # Ranked outliers (the detectors' estimate path), order included.
+        assert (
+            top_n_outliers(ranking, mirror, 5, index=index)
+            == top_n_outliers(ranking, mirror, 5)
+        )
+
+
+@pytest.mark.parametrize("grid", GRID_REGIMES)
+@pytest.mark.parametrize("ranking", RANKINGS, ids=RANKING_IDS)
+def test_all_scoring_paths_bitwise_identical(ranking, grid):
+    """The scalar oracle, the vectorised bulk oracle and the indexed walks
+    must agree *bitwise*, not approximately: a single last-ulp disagreement
+    on a mathematically tied distance flips the ``≺`` tie-break and the
+    detector transcripts diverge.  (Regression test for ``math.dist`` vs
+    vectorised-numpy rounding on quantised readings.)"""
+    rng = random.Random(hash((type(ranking).__name__, grid, "bitwise")) & 0xFFFF)
+    for _ in range(6):
+        pts = _cloud(rng, rng.randint(5, 24), grid=grid)
+        index = NeighborhoodIndex(pts)
+        bulk = ranking.bulk_scores(pts)
+        for i, x in enumerate(pts):
+            scalar = ranking.score(x, pts)
+            assert bulk[i] == scalar
+            assert ranking.score_indexed(index, x) == scalar
+        assert (
+            top_n_outliers(ranking, pts, 4, index=index)
+            == top_n_outliers(ranking, pts, 4)
+        )
+
+
+@pytest.mark.parametrize("ranking", RANKINGS, ids=RANKING_IDS)
+def test_support_of_set_matches_oracle(ranking):
+    rng = random.Random(21)
+    P = _cloud(rng, 40)
+    index = NeighborhoodIndex(P)
+    Q = rng.sample(P, 8)
+    assert (
+        support_of_set(ranking, Q, P, index=index)
+        == support_of_set(ranking, Q, P)
+    )
+    sub = rng.sample(P, 17)
+    Qs = rng.sample(sub, 5)
+    assert (
+        support_of_set(ranking, Qs, sub, index=index)
+        == support_of_set(ranking, Qs, sub)
+    )
+
+
+# ----------------------------------------------------------------------
+# Sufficient-set fixpoint
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("grid", GRID_REGIMES)
+@pytest.mark.parametrize("ranking", RANKINGS, ids=RANKING_IDS)
+def test_sufficient_sets_match_oracle(ranking, grid):
+    rng = random.Random(hash((type(ranking).__name__, grid, "zfix")) & 0xFFFF)
+    query = OutlierQuery(ranking, n=3)
+    for _ in range(10):
+        P = _cloud(rng, rng.randint(6, 35), grid=grid)
+        index = NeighborhoodIndex(P)
+        shared = set(rng.sample(P, rng.randint(0, len(P) // 2)))
+        fast = compute_sufficient_set(query, P, shared, index=index)
+        slow = compute_sufficient_set(query, P, shared)
+        assert fast == slow
+        assert satisfies_sufficiency(query, fast, P, shared)
+
+
+# ----------------------------------------------------------------------
+# Full protocol transcripts: indexed and oracle detectors in lockstep
+# ----------------------------------------------------------------------
+def _twin_global_networks(query, adjacency, seed):
+    nets = []
+    for indexed in (True, False):
+        detectors = {
+            i: GlobalOutlierDetector(i, query, neighbors=adjacency[i], indexed=indexed)
+            for i in adjacency
+        }
+        nets.append(InMemoryNetwork(detectors, adjacency, seed=seed))
+    return nets
+
+
+def _transcript(net):
+    return [(m.sender, dict(m.payloads)) for m in net.log.messages]
+
+
+@pytest.mark.parametrize("ranking", RANKINGS, ids=RANKING_IDS)
+def test_global_detector_transcripts_match_oracle(ranking):
+    rng = random.Random(hash(type(ranking).__name__) & 0xFFFF)
+    sensors = 5
+    adjacency = random_connected_adjacency(rng, sensors)
+    query = OutlierQuery(ranking, n=3)
+    fast_net, slow_net = _twin_global_networks(query, adjacency, seed=42)
+
+    datasets = {i: _cloud(rng, 8, origin=i) for i in range(sensors)}
+    for net in (fast_net, slow_net):
+        net.inject_local_data(datasets)
+        net.run_to_quiescence()
+
+    # Interleave evictions, fresh data and deliveries for a few rounds.  As
+    # in the paper's sliding-window rule, an expired point is deleted by
+    # *every* sensor holding it, so each round's expired set is evicted
+    # network-wide.
+    for round_index in range(4):
+        expired = [
+            p
+            for points in datasets.values()
+            for p in points
+            if p.epoch % 4 == round_index % 4
+        ]
+        evictions = {i: expired for i in range(sensors)}
+        fresh = {
+            i: _cloud(rng, 2, origin=i, start_epoch=100 + 10 * round_index)
+            for i in range(sensors)
+        }
+        for net in (fast_net, slow_net):
+            net.evict(evictions)
+            net.inject_local_data(fresh)
+            net.run_to_quiescence()
+
+    assert _transcript(fast_net) == _transcript(slow_net)
+    assert fast_net.estimates() == slow_net.estimates()
+    assert fast_net.estimates_agree() and slow_net.estimates_agree()
+
+    # Both converge to the omniscient answer (Theorem 1).
+    final = {
+        i: fast_net.detectors[i].local_data for i in range(sensors)
+    }
+    reference = set(global_reference(query, final))
+    for estimate in fast_net.estimates().values():
+        assert estimate == reference
+
+
+def test_global_detector_neighborhood_changes_match_oracle(nn_query):
+    """Link churn: drop and re-add edges mid-run, transcripts stay equal."""
+    rng = random.Random(77)
+    adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+    fast_net, slow_net = _twin_global_networks(nn_query, adjacency, seed=5)
+    datasets = {i: _cloud(rng, 6, origin=i) for i in range(4)}
+    for net in (fast_net, slow_net):
+        net.inject_local_data(datasets)
+        net.run_to_quiescence()
+
+    # Bring up a shortcut link 0-3, then drop 1-2, on both twins.
+    for net in (fast_net, slow_net):
+        net.adjacency[0].add(3)
+        net.adjacency[3].add(0)
+        net.submit(net.detectors[0].neighborhood_changed({1, 3}))
+        net.submit(net.detectors[3].neighborhood_changed({2, 0}))
+        net.run_to_quiescence()
+        net.adjacency[1].discard(2)
+        net.adjacency[2].discard(1)
+        net.submit(net.detectors[1].neighborhood_changed({0}))
+        net.submit(net.detectors[2].neighborhood_changed({3}))
+        net.run_to_quiescence()
+
+    assert _transcript(fast_net) == _transcript(slow_net)
+    assert fast_net.estimates() == slow_net.estimates()
+
+
+@pytest.mark.parametrize("variant", ["refined", "paper"])
+@pytest.mark.parametrize("ranking", [RANKINGS[0], RANKINGS[2]], ids=["nn", "knn"])
+def test_semiglobal_detector_transcripts_match_oracle(ranking, variant):
+    """Chain topology forces multi-hop forwarding, so the min-hop merge and
+    its O(1) index relabelling are exercised on every round."""
+    rng = random.Random(hash((type(ranking).__name__, variant)) & 0xFFFF)
+    sensors = 5
+    adjacency = {i: [j for j in (i - 1, i + 1) if 0 <= j < sensors]
+                 for i in range(sensors)}
+    query = OutlierQuery(ranking, n=2)
+    nets = []
+    for indexed in (True, False):
+        detectors = {
+            i: SemiGlobalOutlierDetector(
+                i, query, hop_diameter=2, neighbors=adjacency[i],
+                variant=variant, indexed=indexed,
+            )
+            for i in range(sensors)
+        }
+        nets.append(InMemoryNetwork(detectors, adjacency, seed=13))
+    fast_net, slow_net = nets
+
+    datasets = {i: _cloud(rng, 5, origin=i) for i in range(sensors)}
+    for net in (fast_net, slow_net):
+        net.inject_local_data(datasets)
+        net.run_to_quiescence()
+
+    for round_index in range(3):
+        expired = [
+            p
+            for points in datasets.values()
+            for p in points
+            if p.epoch % 3 == round_index % 3
+        ]
+        evictions = {i: expired for i in range(sensors)}
+        fresh = {
+            i: _cloud(rng, 2, origin=i, start_epoch=200 + 10 * round_index)
+            for i in range(sensors)
+        }
+        for net in (fast_net, slow_net):
+            net.evict(evictions)
+            net.inject_local_data(fresh)
+            net.run_to_quiescence()
+
+    assert _transcript(fast_net) == _transcript(slow_net)
+    assert fast_net.estimates() == slow_net.estimates()
+
+
+# ----------------------------------------------------------------------
+# Centralized baseline and reference computations
+# ----------------------------------------------------------------------
+def test_centralized_aggregator_matches_oracle(knn_query):
+    rng = random.Random(31)
+    fast = CentralizedAggregator(knn_query, indexed=True)
+    slow = CentralizedAggregator(knn_query, indexed=False)
+    streams = {i: _cloud(rng, 30, origin=i) for i in range(4)}
+    for round_index in range(12):
+        for node in range(4):
+            window = streams[node][round_index: round_index + 8]
+            fast.update_window(node, window)
+            slow.update_window(node, window)
+        assert fast.union() == slow.union()
+        assert fast.compute_outliers() == slow.compute_outliers()
+        assert fast.total_points() == slow.total_points()
+    fast.forget(2)
+    slow.forget(2)
+    assert fast.union() == slow.union()
+    assert fast.compute_outliers() == slow.compute_outliers()
+
+
+def test_semi_global_reference_shared_index_matches_oracle(nn_query):
+    rng = random.Random(41)
+    sensors = 6
+    adjacency = random_connected_adjacency(rng, sensors)
+    datasets = {i: _cloud(rng, 7, origin=i) for i in range(sensors)}
+    fast = semi_global_reference_all(
+        nn_query, datasets, adjacency, 2, shared_index=True
+    )
+    slow = semi_global_reference_all(nn_query, datasets, adjacency, 2)
+    assert fast == slow
