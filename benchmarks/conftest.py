@@ -4,9 +4,13 @@ Each benchmark regenerates one figure of the paper, prints the corresponding
 data table and writes it to ``results/<name>.txt`` so that the benchmark run
 doubles as the experiment report referenced by ``EXPERIMENTS.md``.
 
-Simulation results are memoised process-wide (several figures are different
-views of the same sweep), so the suite never repeats a simulation.  Set
-``REPRO_BENCH_PROFILE=paper`` for the full 53-node, four-seed configuration.
+Simulation results are resolved through the sweep orchestrator
+(:mod:`repro.orchestrator`): memoised process-wide (several figures are
+different views of the same sweep) and, when ``REPRO_RESULT_STORE`` points
+at a directory, persisted on disk so repeated suite runs perform zero
+simulations.  Set ``REPRO_BENCH_PROFILE=paper`` for the full 53-node,
+four-seed configuration and ``REPRO_WORKERS=N`` to fan cache misses out
+over N worker processes.
 """
 
 from __future__ import annotations

@@ -1,0 +1,36 @@
+"""Benchmark running the ``stress-loss`` registry sweep: accuracy and energy
+of every algorithm as per-receiver packet loss grows from 0 to 20%.
+
+This is the first workload that exists purely because the sweep orchestrator
+makes new scenario families cheap to declare -- it is not a figure of the
+paper, but it quantifies the paper's side remark that convergence errors
+come from dropped packets: exact global consensus collapses quickly under
+loss, while the semi-global algorithm (whose correctness is per-neighborhood)
+degrades gracefully.
+"""
+
+from conftest import emit_report
+
+from repro.experiments import run_stress_loss
+from repro.experiments.sweeps import LOSS_GRID
+
+
+def test_bench_stress_loss(benchmark, profile):
+    accuracy, energy = benchmark.pedantic(
+        lambda: run_stress_loss(profile), rounds=1, iterations=1
+    )
+    emit_report("stressloss", [accuracy, energy])
+
+    lossless, worst = 0, len(LOSS_GRID) - 1
+    for label in accuracy.series:
+        # Every algorithm converges exactly on a lossless channel, and none
+        # does better on the lossiest channel than on the lossless one.
+        assert accuracy.series_for(label)[lossless] == 1.0
+        assert accuracy.series_for(label)[worst] <= accuracy.series_for(label)[lossless]
+        assert all(value > 0 for value in energy.series_for(label))
+    # Shipping whole windows to a sink stays the most expensive strategy at
+    # every loss level.
+    for index in range(len(LOSS_GRID)):
+        assert energy.series_for("Centralized")[index] == max(
+            energy.series_for(label)[index] for label in energy.series
+        )

@@ -1,24 +1,35 @@
 """Command-line interface.
 
-``repro-wsn`` exposes the two things a user most often wants without writing
-code: running a single simulated scenario and regenerating one of the paper's
-figures.
+``repro-wsn`` exposes the things a user most often wants without writing
+code: running a single simulated scenario, regenerating one of the paper's
+figures, and driving a registered sweep family through the parallel
+orchestrator with a persistent result store.
 
 Examples
 --------
-Run one scenario and print its summary::
+Run one scenario and print its summary (``--json`` for machine-readable
+output)::
 
     repro-wsn run --algorithm global --ranking nn --nodes 16 --rounds 15 -w 10
 
 Regenerate a figure (text table written to stdout)::
 
     repro-wsn figure 4
+
+List the registered sweep families, then run one across 4 worker processes
+with results persisted (rerunning is free; an interrupted sweep resumes)::
+
+    repro-wsn sweep --list
+    repro-wsn sweep figure4 --workers 4 --store results/store --profile paper
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from typing import List, Optional
 
 from .core.config import Algorithm, DetectionConfig
@@ -47,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--loss", type=float, default=0.0, help="packet loss probability")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the scenario and result summary as JSON instead of text",
+    )
+    run.add_argument(
         "--no-index",
         action="store_true",
         help="disable the incremental neighborhood index and run the "
@@ -59,6 +75,45 @@ def build_parser() -> argparse.ArgumentParser:
         "number",
         choices=["4", "5", "6", "7", "8", "9", "accuracy", "example51", "imbalance"],
         help="figure number or named experiment",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a registered sweep family through the parallel orchestrator",
+    )
+    sweep.add_argument(
+        "name",
+        nargs="?",
+        help="family name (see --list); required unless --list is given",
+    )
+    sweep.add_argument(
+        "--list", action="store_true", help="list the registered sweep families"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for cache misses (1 = in-process; "
+        "default: REPRO_WORKERS or 1)",
+    )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent result-store directory (reruns become free; an "
+        "interrupted sweep resumes from what already landed on disk; "
+        "default: REPRO_RESULT_STORE or no store)",
+    )
+    sweep.add_argument(
+        "--profile",
+        choices=["tiny", "quick", "paper"],
+        default=None,
+        help="experiment profile (default: REPRO_BENCH_PROFILE or quick)",
+    )
+    sweep.add_argument(
+        "--no-report",
+        action="store_true",
+        help="only resolve the scenario grid; skip rendering the tables",
     )
     return parser
 
@@ -81,6 +136,13 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = run_scenario(scenario)
+    if args.json:
+        payload = {
+            "scenario": scenario.to_json_dict(),
+            "summary": result.summary(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"scenario: {scenario.label()}  nodes={args.nodes} rounds={args.rounds} w={args.window}")
     for key, value in result.summary().items():
         print(f"  {key:24s} {value:.6g}")
@@ -116,12 +178,99 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    # Importing the experiments package registers every sweep family.
+    from . import experiments
+    from .core.errors import ExperimentError
+    from .orchestrator import (
+        ResultStore,
+        all_families,
+        default_store,
+        default_workers,
+        get_family,
+        run_scenarios,
+    )
+
+    if args.list:
+        for family in all_families():
+            print(f"{family.name:16s} {family.description}")
+        return 0
+    if args.name is None:
+        print("error: a sweep name is required (or --list)", file=sys.stderr)
+        return 2
+
+    try:
+        family = get_family(args.name)
+        profile = (
+            experiments.profile_by_name(args.profile)
+            if args.profile
+            else experiments.active_profile()
+        )
+        # Flags win; the REPRO_* environment variables (honored by every
+        # other entry point) are the fallback.
+        workers = args.workers if args.workers is not None else default_workers()
+        if workers < 1:
+            raise ExperimentError(f"--workers must be >= 1, got {workers}")
+        store = ResultStore(args.store) if args.store else default_store()
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scenarios = list(family.build(profile))
+
+    counts = {"memory": 0, "store": 0, "computed": 0}
+
+    def progress(event: str, scenario: ScenarioConfig, done: int, total: int) -> None:
+        counts[event] += 1
+        print(f"[{done}/{total}] {event:8s} {scenario.label()}  seed={scenario.seed}")
+
+    started = time.perf_counter()
+    run_scenarios(scenarios, workers=workers, store=store, progress=progress)
+    elapsed = time.perf_counter() - started
+    unique = sum(counts.values())
+    print(
+        f"sweep {family.name!r} ({profile.name} profile): "
+        f"{len(scenarios)} scenario(s), {unique} unique, "
+        f"{counts['computed']} simulated, "
+        f"{counts['memory']} from memory, {counts['store']} from store, "
+        f"workers={workers}, {elapsed:.2f}s"
+    )
+    if store is not None:
+        print(f"store: {store.root} ({len(store)} entries)")
+
+    if family.report is not None and not args.no_report:
+        # The report phase resolves scenarios through the experiments
+        # layer, which reads the REPRO_* environment variables -- export
+        # the resolved settings for its duration so both phases share the
+        # same store and worker pool (also covers any report that touches
+        # a scenario outside the prefetched grid).
+        saved = {
+            name: os.environ.get(name)
+            for name in ("REPRO_RESULT_STORE", "REPRO_WORKERS")
+        }
+        if store is not None:
+            os.environ["REPRO_RESULT_STORE"] = str(store.root)
+        os.environ["REPRO_WORKERS"] = str(workers)
+        try:
+            for figure in family.report(profile):
+                print()
+                print(figure.report())
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-wsn`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     return _command_figure(args)
 
 

@@ -1,34 +1,55 @@
 """Experiment harness regenerating every table and figure of the paper's
 evaluation section (plus the Section 5.1 worked example and the Section 8
-traffic-concentration claim)."""
+traffic-concentration claim).
+
+Importing this package also registers every sweep family with the
+orchestrator's registry (see :mod:`repro.experiments.sweeps`), which is what
+the ``repro-wsn sweep`` CLI drives.
+"""
 
 from .accuracy_experiment import run_accuracy_experiment
 from .common import (
     PAPER_PROFILE,
     QUICK_PROFILE,
+    TINY_PROFILE,
     ExperimentProfile,
     FigureResult,
     active_profile,
     clear_cache,
+    profile_by_name,
     run_cached,
+    run_many,
     summarise,
 )
 from .example51 import run_example51, section_51_datasets
-from .figure4 import global_window_sweep, run_figure4
+from .figure4 import global_window_scenarios, global_window_sweep, run_figure4
 from .figure5 import run_figure5
 from .figure6 import run_figure6
-from .figure7 import run_figure7, semi_global_window_sweep
+from .figure7 import (
+    run_figure7,
+    semi_global_window_scenarios,
+    semi_global_window_sweep,
+)
 from .figure8 import run_figure8
-from .figure9 import outlier_count_sweep, run_figure9
+from .figure9 import outlier_count_scenarios, outlier_count_sweep, run_figure9
 from .imbalance import run_imbalance_experiment
+from .sweeps import (
+    run_scaling,
+    run_stress_loss,
+    scaling_scenarios,
+    stress_loss_scenarios,
+)
 
 __all__ = [
     "ExperimentProfile",
+    "TINY_PROFILE",
     "QUICK_PROFILE",
     "PAPER_PROFILE",
     "FigureResult",
     "active_profile",
+    "profile_by_name",
     "run_cached",
+    "run_many",
     "summarise",
     "clear_cache",
     "run_figure4",
@@ -40,8 +61,15 @@ __all__ = [
     "run_accuracy_experiment",
     "run_example51",
     "run_imbalance_experiment",
+    "run_stress_loss",
+    "run_scaling",
     "global_window_sweep",
+    "global_window_scenarios",
     "semi_global_window_sweep",
+    "semi_global_window_scenarios",
     "outlier_count_sweep",
+    "outlier_count_scenarios",
+    "stress_loss_scenarios",
+    "scaling_scenarios",
     "section_51_datasets",
 ]

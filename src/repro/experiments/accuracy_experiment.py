@@ -10,24 +10,27 @@ reference answer over the final windows, with and without packet loss.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import Algorithm, DetectionConfig
-from .common import ExperimentProfile, FigureResult, active_profile, run_cached
+from ..wsn.scenario import ScenarioConfig
+from .common import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    run_cached,
+    run_many,
+)
 
-__all__ = ["run_accuracy_experiment"]
+__all__ = ["run_accuracy_experiment", "accuracy_configurations", "accuracy_scenarios"]
 
 #: Per-receiver loss probabilities examined (0 plus the lossy case).
 LOSS_LEVELS = (0.0, 0.02)
 
 
-def run_accuracy_experiment(
-    profile: Optional[ExperimentProfile] = None,
-    window: int = 10,
-) -> FigureResult:
-    """Accuracy (exact fraction) per algorithm and loss level."""
-    profile = profile or active_profile()
-    configurations = [
+def accuracy_configurations(window: int = 10) -> List[Tuple[str, DetectionConfig]]:
+    """The (label, detection) pairs compared by the accuracy experiment."""
+    return [
         ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
                                       n_outliers=4, k=4, window_length=window)),
         ("Global-KNN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="knn",
@@ -41,6 +44,27 @@ def run_accuracy_experiment(
         ("Centralized", DetectionConfig(algorithm=Algorithm.CENTRALIZED, ranking="nn",
                                         n_outliers=4, k=4, window_length=window)),
     ]
+
+
+def accuracy_scenarios(
+    profile: ExperimentProfile, window: int = 10
+) -> List[ScenarioConfig]:
+    """The full (algorithm x loss level) scenario grid of the experiment."""
+    return [
+        replace(profile.base_scenario(detection, seed=0), loss_probability=loss)
+        for loss in LOSS_LEVELS
+        for _label, detection in accuracy_configurations(window)
+    ]
+
+
+def run_accuracy_experiment(
+    profile: Optional[ExperimentProfile] = None,
+    window: int = 10,
+) -> FigureResult:
+    """Accuracy (exact fraction) per algorithm and loss level."""
+    profile = profile or active_profile()
+    configurations = accuracy_configurations(window)
+    run_many(accuracy_scenarios(profile, window))
 
     series: Dict[str, List[float]] = {label: [] for label, _ in configurations}
     for loss in LOSS_LEVELS:

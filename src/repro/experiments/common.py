@@ -1,19 +1,23 @@
 """Shared infrastructure for the figure-reproduction experiments.
 
 Every experiment module builds parameter sweeps out of
-:class:`ScenarioConfig` objects and runs them through
-:func:`repro.wsn.runner.run_scenario`.  Because several figures are different
-views of the same runs (Figures 4, 5 and 6 all come from the global-detection
-window sweep), results are memoised in a process-wide cache keyed by the
-scenario, so the benchmark suite never repeats a simulation.
+:class:`ScenarioConfig` objects and resolves them through the sweep
+orchestrator (:mod:`repro.orchestrator`): a two-tier cache (process memory
+plus an optional persistent store selected with ``REPRO_RESULT_STORE``)
+backed by a ``multiprocessing`` pool (``REPRO_WORKERS``).  Because several
+figures are different views of the same runs (Figures 4, 5 and 6 all come
+from the global-detection window sweep), the suite never repeats a
+simulation -- and with a store configured, never repeats one across
+processes either.
 
-Two execution profiles are provided:
+Three execution profiles are provided:
 
-* ``quick`` (default) -- 32 sensors (the paper's smaller network), fewer
-  rounds and a thinned parameter sweep, so the whole benchmark suite runs in
-  minutes on a laptop;
+* ``tiny`` -- a 6-sensor smoke-test grid (CI and unit tests);
+* ``quick`` (default) -- a scaled-down network, fewer rounds and a thinned
+  parameter sweep, so the whole benchmark suite runs in minutes on a laptop;
 * ``paper`` -- 53 sensors, the full parameter grids and four repetitions per
-  configuration, matching the paper's setup (hours of simulation).
+  configuration, matching the paper's setup (hours of serial simulation;
+  use ``repro-wsn sweep --workers N`` to fan it out).
 
 Select the profile with the ``REPRO_BENCH_PROFILE`` environment variable.
 """
@@ -27,16 +31,19 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..analysis.energy_stats import EnergySummary, aggregate_energy
 from ..core.config import Algorithm, DetectionConfig
 from ..core.errors import ExperimentError
+from ..orchestrator import executor as _executor
 from ..wsn.results import SimulationResult
-from ..wsn.runner import run_scenario
 from ..wsn.scenario import ScenarioConfig
 
 __all__ = [
     "ExperimentProfile",
+    "TINY_PROFILE",
     "QUICK_PROFILE",
     "PAPER_PROFILE",
     "active_profile",
     "run_cached",
+    "run_many",
+    "grid_scenarios",
     "summarise",
     "clear_cache",
     "FigureResult",
@@ -65,6 +72,27 @@ class ExperimentProfile:
             seed=seed,
         )
 
+    def repetition_scenarios(
+        self, detection: DetectionConfig, first_seed: int = 0
+    ) -> List[ScenarioConfig]:
+        """The profile's repetitions of one configuration (seeded runs)."""
+        return [
+            self.base_scenario(detection, seed=first_seed + repetition)
+            for repetition in range(self.repetitions)
+        ]
+
+
+#: Smoke-test profile: small enough that a whole registry sweep finishes in
+#: seconds (used by CI's parallel-sweep job and the orchestrator tests).
+TINY_PROFILE = ExperimentProfile(
+    name="tiny",
+    node_count=6,
+    rounds=4,
+    repetitions=1,
+    window_sizes=(2, 3),
+    outlier_counts=(1, 2),
+    hop_diameters=(1,),
+)
 
 #: Laptop-scale profile: the default for the benchmark suite.  The parameter
 #: grid is scaled down uniformly (fewer sensors, shorter windows, fewer
@@ -93,36 +121,80 @@ PAPER_PROFILE = ExperimentProfile(
     hop_diameters=(1, 2, 3),
 )
 
-_PROFILES = {"quick": QUICK_PROFILE, "paper": PAPER_PROFILE}
+_PROFILES = {
+    "tiny": TINY_PROFILE,
+    "quick": QUICK_PROFILE,
+    "paper": PAPER_PROFILE,
+}
 
 
-def active_profile() -> ExperimentProfile:
-    """The profile selected by ``REPRO_BENCH_PROFILE`` (default ``quick``)."""
-    name = os.environ.get("REPRO_BENCH_PROFILE", "quick").strip().lower()
+def profile_by_name(name: str) -> ExperimentProfile:
+    """Look up a profile by name (``tiny`` / ``quick`` / ``paper``)."""
     try:
-        return _PROFILES[name]
+        return _PROFILES[name.strip().lower()]
     except KeyError:
         raise ExperimentError(
             f"unknown benchmark profile {name!r}; expected one of {sorted(_PROFILES)}"
         ) from None
 
 
+def active_profile() -> ExperimentProfile:
+    """The profile selected by ``REPRO_BENCH_PROFILE`` (default ``quick``)."""
+    return profile_by_name(os.environ.get("REPRO_BENCH_PROFILE", "quick"))
+
+
 # ----------------------------------------------------------------------
-# Result cache
+# Result resolution (thin views over the orchestrator's cache tiers)
 # ----------------------------------------------------------------------
-_CACHE: Dict[ScenarioConfig, SimulationResult] = {}
+#: The orchestrator's process-wide memory tier (kept under its historical
+#: name; tests inspect it to assert that sweeps reuse simulations).
+_CACHE: Dict[ScenarioConfig, SimulationResult] = _executor.memory_cache()
 
 
 def run_cached(scenario: ScenarioConfig) -> SimulationResult:
-    """Run a scenario, memoising the result for the lifetime of the process."""
-    if scenario not in _CACHE:
-        _CACHE[scenario] = run_scenario(scenario)
-    return _CACHE[scenario]
+    """Resolve one scenario through the orchestrator's memory + disk tiers.
+
+    With ``REPRO_RESULT_STORE`` set, results persist on disk and reruns are
+    free across processes; otherwise this memoises for the process lifetime
+    exactly as before.
+    """
+    return _executor.run_one(scenario, store=_executor.default_store())
+
+
+def run_many(scenarios: Sequence[ScenarioConfig]) -> List[SimulationResult]:
+    """Resolve a batch of scenarios, fanning misses out over
+    ``REPRO_WORKERS`` worker processes (default: in-process).
+
+    The experiment modules call this once per sweep with their complete
+    grid, so a multicore box simulates the whole grid concurrently while
+    the subsequent per-configuration summarisation hits warm cache.
+    """
+    return _executor.run_scenarios(
+        scenarios,
+        workers=_executor.default_workers(),
+        store=_executor.default_store(),
+    )
 
 
 def clear_cache() -> None:
     """Drop all memoised results (used by tests)."""
-    _CACHE.clear()
+    _executor.clear_memory()
+
+
+def grid_scenarios(
+    profile: ExperimentProfile,
+    grid: Dict[str, Dict[object, DetectionConfig]],
+    first_seed: int = 0,
+) -> List[ScenarioConfig]:
+    """Flatten a ``{label: {x: DetectionConfig}}`` sweep grid into every
+    scenario it implies (all curves, x values and seed repetitions) --
+    the shape shared by the window and outlier-count sweeps."""
+    return [
+        scenario
+        for per_value in grid.values()
+        for detection in per_value.values()
+        for scenario in profile.repetition_scenarios(detection, first_seed)
+    ]
 
 
 @dataclass
@@ -160,9 +232,6 @@ def summarise(
 ) -> Tuple[EnergySummary, List[SimulationResult]]:
     """Run (or reuse) the repetitions of one configuration and average them."""
     profile = profile or active_profile()
-    results = []
-    for repetition in range(profile.repetitions):
-        scenario = profile.base_scenario(detection, seed=first_seed + repetition)
-        results.append(run_cached(scenario))
+    results = run_many(profile.repetition_scenarios(detection, first_seed))
     summary = aggregate_energy([result.energy for result in results])
     return summary, results

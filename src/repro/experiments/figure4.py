@@ -16,9 +16,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.config import Algorithm, DetectionConfig
-from .common import ExperimentProfile, FigureResult, active_profile, summarise
+from .common import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    grid_scenarios,
+    run_many,
+    summarise,
+)
 
-__all__ = ["global_window_sweep", "run_figure4"]
+__all__ = ["global_window_scenarios", "global_window_sweep", "run_figure4"]
 
 #: (label, detection template) of the three curves in Figures 4-6.
 GLOBAL_SWEEP_CURVES: Tuple[Tuple[str, DetectionConfig], ...] = (
@@ -28,6 +35,35 @@ GLOBAL_SWEEP_CURVES: Tuple[Tuple[str, DetectionConfig], ...] = (
 )
 
 
+def _window_grid(
+    profile: ExperimentProfile, n_outliers: int, k: int
+) -> Dict[str, Dict[int, DetectionConfig]]:
+    return {
+        label: {
+            window: DetectionConfig(
+                algorithm=template.algorithm,
+                ranking=template.ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+            )
+            for window in profile.window_sizes
+        }
+        for label, template in GLOBAL_SWEEP_CURVES
+    }
+
+
+def global_window_scenarios(
+    profile: Optional[ExperimentProfile] = None,
+    n_outliers: int = 4,
+    k: int = 4,
+) -> List["object"]:
+    """Every scenario (all curves, windows and repetitions) of the sweep
+    shared by Figures 4, 5 and 6 (also its registry declaration)."""
+    profile = profile or active_profile()
+    return grid_scenarios(profile, _window_grid(profile, n_outliers, k))
+
+
 def global_window_sweep(
     profile: Optional[ExperimentProfile] = None,
     n_outliers: int = 4,
@@ -35,21 +71,19 @@ def global_window_sweep(
 ) -> Dict[str, Dict[int, "object"]]:
     """Run (or reuse) every (algorithm, window) combination of the sweep.
 
-    Returns ``{label: {window: EnergySummary}}``; the per-run results are
-    cached process-wide so Figures 4, 5 and 6 share the same simulations.
+    The complete grid -- every curve, window and repetition -- is submitted
+    to the orchestrator in one batch, so with ``REPRO_WORKERS > 1`` the
+    whole sweep simulates concurrently; the per-run results stay cached
+    process-wide so Figures 4, 5 and 6 share the same simulations.
     """
     profile = profile or active_profile()
+    grid = _window_grid(profile, n_outliers, k)
+    run_many(grid_scenarios(profile, grid))
+
     sweep: Dict[str, Dict[int, object]] = {}
-    for label, template in GLOBAL_SWEEP_CURVES:
+    for label, per_window in grid.items():
         sweep[label] = {}
-        for window in profile.window_sizes:
-            detection = DetectionConfig(
-                algorithm=template.algorithm,
-                ranking=template.ranking,
-                n_outliers=n_outliers,
-                k=k,
-                window_length=window,
-            )
+        for window, detection in per_window.items():
             summary, _results = summarise(detection, profile)
             sweep[label][window] = summary
     return sweep

@@ -13,9 +13,60 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.config import Algorithm, DetectionConfig
-from .common import ExperimentProfile, FigureResult, active_profile, summarise
+from .common import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    grid_scenarios,
+    run_many,
+    summarise,
+)
 
-__all__ = ["semi_global_window_sweep", "run_figure7"]
+__all__ = [
+    "semi_global_window_scenarios",
+    "semi_global_window_sweep",
+    "run_figure7",
+]
+
+
+def _window_grid(
+    profile: ExperimentProfile, ranking: str, n_outliers: int, k: int
+) -> Dict[str, Dict[int, DetectionConfig]]:
+    grid: Dict[str, Dict[int, DetectionConfig]] = {}
+    grid["Centralized"] = {
+        window: DetectionConfig(
+            algorithm=Algorithm.CENTRALIZED,
+            ranking="nn",
+            n_outliers=n_outliers,
+            k=k,
+            window_length=window,
+        )
+        for window in profile.window_sizes
+    }
+    for epsilon in profile.hop_diameters:
+        grid[f"Semi-global, epsilon={epsilon}"] = {
+            window: DetectionConfig(
+                algorithm=Algorithm.SEMI_GLOBAL,
+                ranking=ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+                hop_diameter=epsilon,
+            )
+            for window in profile.window_sizes
+        }
+    return grid
+
+
+def semi_global_window_scenarios(
+    ranking: str,
+    profile: Optional[ExperimentProfile] = None,
+    n_outliers: int = 4,
+    k: int = 4,
+) -> list:
+    """Every scenario of the semi-global window sweep (Figures 7 and 8)."""
+    profile = profile or active_profile()
+    return grid_scenarios(profile, _window_grid(profile, ranking, n_outliers, k))
 
 
 def semi_global_window_sweep(
@@ -25,35 +76,16 @@ def semi_global_window_sweep(
     k: int = 4,
 ) -> Dict[str, Dict[int, "object"]]:
     """``{label: {window: EnergySummary}}`` for the semi-global sweep with the
-    given ranking function plus the centralized baseline."""
+    given ranking function plus the centralized baseline.  The whole grid is
+    prefetched through the orchestrator in one batch."""
     profile = profile or active_profile()
+    grid = _window_grid(profile, ranking, n_outliers, k)
+    run_many(grid_scenarios(profile, grid))
+
     sweep: Dict[str, Dict[int, object]] = {}
-
-    centralized = "Centralized"
-    sweep[centralized] = {}
-    for window in profile.window_sizes:
-        detection = DetectionConfig(
-            algorithm=Algorithm.CENTRALIZED,
-            ranking="nn",
-            n_outliers=n_outliers,
-            k=k,
-            window_length=window,
-        )
-        summary, _ = summarise(detection, profile)
-        sweep[centralized][window] = summary
-
-    for epsilon in profile.hop_diameters:
-        label = f"Semi-global, epsilon={epsilon}"
+    for label, per_window in grid.items():
         sweep[label] = {}
-        for window in profile.window_sizes:
-            detection = DetectionConfig(
-                algorithm=Algorithm.SEMI_GLOBAL,
-                ranking=ranking,
-                n_outliers=n_outliers,
-                k=k,
-                window_length=window,
-                hop_diameter=epsilon,
-            )
+        for window, detection in per_window.items():
             summary, _ = summarise(detection, profile)
             sweep[label][window] = summary
     return sweep

@@ -14,9 +14,56 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.config import Algorithm, DetectionConfig
-from .common import ExperimentProfile, FigureResult, active_profile, summarise
+from .common import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    grid_scenarios,
+    run_many,
+    summarise,
+)
 
-__all__ = ["outlier_count_sweep", "run_figure9"]
+__all__ = ["outlier_count_scenarios", "outlier_count_sweep", "run_figure9"]
+
+
+def _count_grid(
+    profile: ExperimentProfile, ranking: str, window: int, k: int
+) -> Dict[str, Dict[int, DetectionConfig]]:
+    grid: Dict[str, Dict[int, DetectionConfig]] = {}
+    grid["Centralized"] = {
+        n_outliers: DetectionConfig(
+            algorithm=Algorithm.CENTRALIZED,
+            ranking="nn",
+            n_outliers=n_outliers,
+            k=k,
+            window_length=window,
+        )
+        for n_outliers in profile.outlier_counts
+    }
+    for epsilon in profile.hop_diameters:
+        grid[f"Semi-global, epsilon={epsilon}"] = {
+            n_outliers: DetectionConfig(
+                algorithm=Algorithm.SEMI_GLOBAL,
+                ranking=ranking,
+                n_outliers=n_outliers,
+                k=k,
+                window_length=window,
+                hop_diameter=epsilon,
+            )
+            for n_outliers in profile.outlier_counts
+        }
+    return grid
+
+
+def outlier_count_scenarios(
+    ranking: str = "knn",
+    window: int = 20,
+    k: int = 4,
+    profile: Optional[ExperimentProfile] = None,
+) -> list:
+    """Every scenario of the Figure 9 outlier-count sweep."""
+    profile = profile or active_profile()
+    return grid_scenarios(profile, _count_grid(profile, ranking, window, k))
 
 
 def outlier_count_sweep(
@@ -25,34 +72,16 @@ def outlier_count_sweep(
     k: int = 4,
     profile: Optional[ExperimentProfile] = None,
 ) -> Dict[str, Dict[int, "object"]]:
-    """``{label: {n: EnergySummary}}`` for the n sweep of Figure 9."""
+    """``{label: {n: EnergySummary}}`` for the n sweep of Figure 9, with the
+    whole grid prefetched through the orchestrator in one batch."""
     profile = profile or active_profile()
+    grid = _count_grid(profile, ranking, window, k)
+    run_many(grid_scenarios(profile, grid))
+
     sweep: Dict[str, Dict[int, object]] = {}
-
-    sweep["Centralized"] = {}
-    for n_outliers in profile.outlier_counts:
-        detection = DetectionConfig(
-            algorithm=Algorithm.CENTRALIZED,
-            ranking="nn",
-            n_outliers=n_outliers,
-            k=k,
-            window_length=window,
-        )
-        summary, _ = summarise(detection, profile)
-        sweep["Centralized"][n_outliers] = summary
-
-    for epsilon in profile.hop_diameters:
-        label = f"Semi-global, epsilon={epsilon}"
+    for label, per_count in grid.items():
         sweep[label] = {}
-        for n_outliers in profile.outlier_counts:
-            detection = DetectionConfig(
-                algorithm=Algorithm.SEMI_GLOBAL,
-                ranking=ranking,
-                n_outliers=n_outliers,
-                k=k,
-                window_length=window,
-                hop_diameter=epsilon,
-            )
+        for n_outliers, detection in per_count.items():
             summary, _ = summarise(detection, profile)
             sweep[label][n_outliers] = summary
     return sweep

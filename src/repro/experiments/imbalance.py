@@ -18,18 +18,20 @@ from ..analysis.energy_stats import traffic_imbalance
 from ..core.config import Algorithm, DetectionConfig
 from ..datasets.loader import build_intel_lab_dataset
 from ..network.topology import Topology
-from .common import ExperimentProfile, FigureResult, active_profile, run_cached
+from ..wsn.scenario import ScenarioConfig
+from .common import (
+    ExperimentProfile,
+    FigureResult,
+    active_profile,
+    run_cached,
+    run_many,
+)
 
-__all__ = ["run_imbalance_experiment"]
+__all__ = ["run_imbalance_experiment", "imbalance_scenarios"]
 
 
-def run_imbalance_experiment(
-    profile: Optional[ExperimentProfile] = None,
-    window: int = 10,
-) -> FigureResult:
-    """Energy-concentration ratios for centralized vs. distributed detection."""
-    profile = profile or active_profile()
-    configurations = [
+def _configurations(window: int):
+    return [
         ("Centralized", DetectionConfig(algorithm=Algorithm.CENTRALIZED, ranking="nn",
                                         n_outliers=4, k=4, window_length=window)),
         ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
@@ -38,6 +40,26 @@ def run_imbalance_experiment(
          DetectionConfig(algorithm=Algorithm.SEMI_GLOBAL, ranking="nn",
                          n_outliers=4, k=4, window_length=window, hop_diameter=2)),
     ]
+
+
+def imbalance_scenarios(
+    profile: ExperimentProfile, window: int = 10
+) -> List[ScenarioConfig]:
+    """The scenario set behind the traffic-concentration experiment."""
+    return [
+        profile.base_scenario(detection, seed=0)
+        for _label, detection in _configurations(window)
+    ]
+
+
+def run_imbalance_experiment(
+    profile: Optional[ExperimentProfile] = None,
+    window: int = 10,
+) -> FigureResult:
+    """Energy-concentration ratios for centralized vs. distributed detection."""
+    profile = profile or active_profile()
+    configurations = _configurations(window)
+    run_many(imbalance_scenarios(profile, window))
 
     sink_ratio: List[float] = []
     max_ratio: List[float] = []

@@ -1,0 +1,303 @@
+"""Registry declarations for every experiment sweep.
+
+Importing this module (it is pulled in by :mod:`repro.experiments`)
+registers a :class:`~repro.orchestrator.registry.SweepFamily` for each of
+the paper's nine figure/experiment sweeps plus two non-figure workloads
+that only exist because the orchestrator makes them cheap to declare:
+
+* ``stress-loss`` -- a packet-loss x algorithm stress grid probing how each
+  protocol's accuracy and energy degrade as the channel gets lossy;
+* ``scaling-nodes`` -- a large-network scaling sweep (128/256 sensors at
+  the ``paper`` profile, scaled down for ``quick``/``tiny``) for the
+  distributed algorithms.
+
+Every family is driven by ``repro-wsn sweep <name> --workers N --store D``:
+the scenario grid resolves through the parallel executor and the optional
+persistent store, then the family's report renders from warm cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.config import Algorithm, DetectionConfig
+from ..orchestrator import SweepFamily, register
+from ..wsn.scenario import ScenarioConfig
+from .accuracy_experiment import accuracy_scenarios, run_accuracy_experiment
+from .common import ExperimentProfile, FigureResult, run_many
+from .example51 import run_example51
+from .figure4 import global_window_scenarios, run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .figure7 import run_figure7, semi_global_window_scenarios
+from .figure8 import run_figure8
+from .figure9 import outlier_count_scenarios, run_figure9
+from .imbalance import imbalance_scenarios, run_imbalance_experiment
+
+__all__ = [
+    "LOSS_GRID",
+    "stress_loss_scenarios",
+    "run_stress_loss",
+    "scaling_node_counts",
+    "scaling_scenarios",
+    "run_scaling",
+]
+
+
+# ----------------------------------------------------------------------
+# New workload 1: packet-loss x algorithm stress grid
+# ----------------------------------------------------------------------
+#: Per-receiver loss probabilities of the stress grid (0 through severe).
+LOSS_GRID = (0.0, 0.05, 0.1, 0.2)
+
+
+def _stress_configurations(window: int) -> List[Tuple[str, DetectionConfig]]:
+    return [
+        ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
+                                      n_outliers=4, k=4, window_length=window)),
+        ("Global-KNN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="knn",
+                                       n_outliers=4, k=4, window_length=window)),
+        ("Semi-global, epsilon=2",
+         DetectionConfig(algorithm=Algorithm.SEMI_GLOBAL, ranking="nn",
+                         n_outliers=4, k=4, window_length=window, hop_diameter=2)),
+        ("Centralized", DetectionConfig(algorithm=Algorithm.CENTRALIZED, ranking="nn",
+                                        n_outliers=4, k=4, window_length=window)),
+    ]
+
+
+def _stress_window(profile: ExperimentProfile) -> int:
+    # Keep the window inside the sampling schedule so it actually fills.
+    return min(10, profile.rounds)
+
+
+def stress_loss_scenarios(profile: ExperimentProfile) -> List[ScenarioConfig]:
+    """The full loss x algorithm x repetition grid."""
+    window = _stress_window(profile)
+    return [
+        replace(scenario, loss_probability=loss)
+        for loss in LOSS_GRID
+        for _label, detection in _stress_configurations(window)
+        for scenario in profile.repetition_scenarios(detection)
+    ]
+
+
+def run_stress_loss(profile: ExperimentProfile) -> Sequence[FigureResult]:
+    """Accuracy and energy of each algorithm as the channel degrades."""
+    window = _stress_window(profile)
+    configurations = _stress_configurations(window)
+    run_many(stress_loss_scenarios(profile))
+
+    accuracy: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    energy: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    for loss in LOSS_GRID:
+        for label, detection in configurations:
+            results = run_many(
+                [
+                    replace(scenario, loss_probability=loss)
+                    for scenario in profile.repetition_scenarios(detection)
+                ]
+            )
+            accuracy[label].append(
+                sum(r.accuracy.exact_fraction for r in results) / len(results)
+            )
+            energy[label].append(
+                sum(
+                    r.energy.average_per_node_per_round("total_joules")
+                    for r in results
+                )
+                / len(results)
+            )
+
+    note = (
+        f"{profile.node_count} nodes, w={window}, n=4, "
+        f"{profile.repetitions} seed(s), profile={profile.name}"
+    )
+    x_values = [float(loss) for loss in LOSS_GRID]
+    return (
+        FigureResult(
+            figure="Loss stress: fraction of sensors with an exact estimate",
+            x_label="loss probability",
+            x_values=x_values,
+            series=accuracy,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Loss stress: avg total energy per node per round [J]",
+            x_label="loss probability",
+            x_values=x_values,
+            series=energy,
+            notes=note,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# New workload 2: large-network scaling sweep
+# ----------------------------------------------------------------------
+#: Network sizes per profile; the paper-scale grid probes 128/256 sensors,
+#: far beyond the paper's 53-node deployment.
+_SCALING_COUNTS = {
+    "tiny": (8, 12),
+    "quick": (32, 64),
+    "paper": (128, 256),
+}
+
+
+def scaling_node_counts(profile: ExperimentProfile) -> Tuple[int, ...]:
+    """The node counts probed at this profile (quick: 32/64, paper: 128/256)."""
+    return _SCALING_COUNTS.get(profile.name, _SCALING_COUNTS["quick"])
+
+
+def _scaling_configurations(window: int) -> List[Tuple[str, DetectionConfig]]:
+    return [
+        ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
+                                      n_outliers=4, k=4, window_length=window)),
+        ("Semi-global, epsilon=2",
+         DetectionConfig(algorithm=Algorithm.SEMI_GLOBAL, ranking="nn",
+                         n_outliers=4, k=4, window_length=window, hop_diameter=2)),
+    ]
+
+
+def scaling_scenarios(profile: ExperimentProfile) -> List[ScenarioConfig]:
+    """One (single-seed) run per algorithm per network size."""
+    window = _stress_window(profile)
+    return [
+        replace(profile.base_scenario(detection, seed=0), node_count=nodes)
+        for nodes in scaling_node_counts(profile)
+        for _label, detection in _scaling_configurations(window)
+    ]
+
+
+def run_scaling(profile: ExperimentProfile) -> Sequence[FigureResult]:
+    """Per-node energy and traffic as the network grows."""
+    window = _stress_window(profile)
+    configurations = _scaling_configurations(window)
+    run_many(scaling_scenarios(profile))
+
+    counts = scaling_node_counts(profile)
+    energy: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    traffic: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    for nodes in counts:
+        for label, detection in configurations:
+            scenario = replace(
+                profile.base_scenario(detection, seed=0), node_count=nodes
+            )
+            (result,) = run_many([scenario])
+            energy[label].append(
+                result.energy.average_per_node_per_round("total_joules")
+            )
+            traffic[label].append(
+                result.channel.transmissions / (nodes * profile.rounds)
+            )
+
+    note = f"w={window}, n=4, seed 0, profile={profile.name}"
+    x_values = [float(n) for n in counts]
+    return (
+        FigureResult(
+            figure="Scaling: avg total energy per node per round [J]",
+            x_label="nodes",
+            x_values=x_values,
+            series=energy,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Scaling: transmissions per node per round",
+            x_label="nodes",
+            x_values=x_values,
+            series=traffic,
+            notes=note,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def _flatten(report) -> Sequence[FigureResult]:
+    """Normalise report outputs (single result, tuple or list) to a list."""
+    if isinstance(report, FigureResult):
+        return [report]
+    return list(report)
+
+
+_FAMILIES = (
+    SweepFamily(
+        name="figure4",
+        description="Global detection: TX/RX energy vs window size "
+                    "(Centralized / Global-NN / Global-KNN)",
+        build=global_window_scenarios,
+        report=lambda profile: _flatten(run_figure4(profile)),
+    ),
+    SweepFamily(
+        name="figure5",
+        description="Global detection: min/avg/max node energy vs window size "
+                    "(same grid as figure4)",
+        build=global_window_scenarios,
+        report=lambda profile: _flatten(run_figure5(profile)),
+    ),
+    SweepFamily(
+        name="figure6",
+        description="Global detection: normalised per-node energy spread "
+                    "(same grid as figure4)",
+        build=global_window_scenarios,
+        report=lambda profile: _flatten(run_figure6(profile)),
+    ),
+    SweepFamily(
+        name="figure7",
+        description="Semi-global detection (NN): TX/RX energy vs window size",
+        build=lambda profile: semi_global_window_scenarios("nn", profile),
+        report=lambda profile: _flatten(run_figure7(profile)),
+    ),
+    SweepFamily(
+        name="figure8",
+        description="Semi-global detection (KNN): TX/RX energy vs window size",
+        build=lambda profile: semi_global_window_scenarios("knn", profile),
+        report=lambda profile: _flatten(run_figure8(profile)),
+    ),
+    SweepFamily(
+        name="figure9",
+        description="Semi-global detection: TX/RX energy vs reported "
+                    "outlier count n",
+        build=lambda profile: outlier_count_scenarios(profile=profile),
+        report=lambda profile: _flatten(run_figure9(profile)),
+    ),
+    SweepFamily(
+        name="accuracy",
+        description="Convergence accuracy per algorithm, with and without "
+                    "packet loss (Section 7.1)",
+        build=accuracy_scenarios,
+        report=lambda profile: _flatten(run_accuracy_experiment(profile)),
+    ),
+    SweepFamily(
+        name="imbalance",
+        description="Traffic concentration around the collection point "
+                    "(Section 8)",
+        build=imbalance_scenarios,
+        report=lambda profile: _flatten(run_imbalance_experiment(profile)),
+    ),
+    SweepFamily(
+        name="example51",
+        description="Section 5.1 worked example (in-memory protocol trace; "
+                    "no simulated scenarios)",
+        build=lambda profile: [],
+        report=lambda profile: _flatten(run_example51()),
+    ),
+    SweepFamily(
+        name="stress-loss",
+        description="Packet-loss x algorithm stress grid: accuracy and "
+                    "energy under 0-20% loss",
+        build=stress_loss_scenarios,
+        report=run_stress_loss,
+    ),
+    SweepFamily(
+        name="scaling-nodes",
+        description="Large-network scaling sweep (128/256 sensors at the "
+                    "paper profile) for the distributed algorithms",
+        build=scaling_scenarios,
+        report=run_scaling,
+    ),
+)
+
+for _family in _FAMILIES:
+    register(_family, replace=True)

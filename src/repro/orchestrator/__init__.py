@@ -1,0 +1,48 @@
+"""Sweep orchestration: parallel execution, persistent results, registries.
+
+The paper's evaluation is a grid of independent, seed-deterministic
+simulation runs.  This package turns that structure into infrastructure:
+
+* :mod:`~repro.orchestrator.executor` -- resolve batches of scenarios
+  through a two-tier cache (process memory + disk) and a
+  ``multiprocessing`` pool, with bit-identical parallel/serial results;
+* :mod:`~repro.orchestrator.store` -- the persistent, content-addressed
+  result store (canonical scenario JSON, SHA-256 keys, atomic writes,
+  corruption-tolerant reads);
+* :mod:`~repro.orchestrator.registry` -- named sweep families driven by the
+  ``repro-wsn sweep`` CLI.
+"""
+
+from .executor import (
+    clear_memory,
+    default_store,
+    default_workers,
+    memory_cache,
+    run_one,
+    run_scenarios,
+)
+from .registry import (
+    SweepFamily,
+    all_families,
+    family_names,
+    get_family,
+    register,
+)
+from .store import ResultStore, canonical_scenario_json, scenario_key
+
+__all__ = [
+    "run_scenarios",
+    "run_one",
+    "clear_memory",
+    "memory_cache",
+    "default_workers",
+    "default_store",
+    "ResultStore",
+    "canonical_scenario_json",
+    "scenario_key",
+    "SweepFamily",
+    "register",
+    "get_family",
+    "family_names",
+    "all_families",
+]

@@ -1,0 +1,178 @@
+"""Parallel scenario execution over a two-tier (memory + disk) cache.
+
+The executor is the single path through which the experiment layer runs
+simulations.  Given a batch of :class:`~repro.wsn.scenario.ScenarioConfig`
+objects it:
+
+1. deduplicates the batch (several figures request overlapping grids),
+2. resolves what it can from the in-process **memory tier** and then from an
+   optional persistent :class:`~repro.orchestrator.store.ResultStore`
+   (**disk tier**),
+3. fans the remaining misses out over a ``multiprocessing`` pool
+   (``workers > 1``) or runs them inline (``workers <= 1``), and
+4. writes freshly computed results back into both tiers.
+
+Scenarios are pure functions of their configuration -- every random stream
+is derived from the scenario seed -- so the parallel path is *bit-identical*
+to the serial one: the pool only changes where the work happens, never what
+is computed (see ``tests/test_orchestrator.py::TestDeterminism``).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.errors import ExperimentError
+from ..wsn.results import SimulationResult
+from ..wsn.runner import run_scenario_worker
+from ..wsn.scenario import ScenarioConfig
+from .store import ResultStore
+
+__all__ = [
+    "run_scenarios",
+    "run_one",
+    "clear_memory",
+    "memory_cache",
+    "default_workers",
+    "default_store",
+]
+
+#: Events delivered to the ``progress`` callback of :func:`run_scenarios`.
+#: ``"memory"``/``"store"`` -- resolved from a cache tier; ``"computed"`` --
+#: an actual simulation was executed.
+ProgressCallback = Callable[[str, ScenarioConfig, int, int], None]
+
+# ----------------------------------------------------------------------
+# Memory tier (shared by every sweep in the process; the experiments
+# layer's ``run_cached`` is a view over this dict).
+# ----------------------------------------------------------------------
+_MEMORY: Dict[ScenarioConfig, SimulationResult] = {}
+
+
+def memory_cache() -> Dict[ScenarioConfig, SimulationResult]:
+    """The process-wide memory tier (exposed for tests and diagnostics)."""
+    return _MEMORY
+
+
+def clear_memory() -> None:
+    """Drop every memoised result (used by tests)."""
+    _MEMORY.clear()
+
+
+# ----------------------------------------------------------------------
+# Environment-driven defaults
+# ----------------------------------------------------------------------
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1 = in-process)."""
+    raw = os.environ.get("REPRO_WORKERS", "1").strip()
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ExperimentError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
+def default_store() -> Optional[ResultStore]:
+    """Store from ``REPRO_RESULT_STORE`` (default: no disk tier)."""
+    root = os.environ.get("REPRO_RESULT_STORE", "").strip()
+    return ResultStore(root) if root else None
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenarios(
+    scenarios: Iterable[ScenarioConfig],
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[SimulationResult]:
+    """Resolve every scenario, in order, through cache tiers + execution.
+
+    Parameters
+    ----------
+    scenarios:
+        The batch to resolve; duplicates are computed once.
+    workers:
+        Size of the ``multiprocessing`` pool; ``1`` (the default) runs every
+        miss inline in this process, which is also the graceful fallback
+        when an environment cannot fork.
+    store:
+        Optional persistent tier; freshly computed results are written back
+        to it, making later sweeps (and other processes) start warm.
+    progress:
+        Optional ``callback(event, scenario, done, total)`` invoked once per
+        unique scenario with event ``"memory"``, ``"store"`` or
+        ``"computed"``.
+
+    Returns
+    -------
+    One :class:`SimulationResult` per requested scenario, aligned with the
+    input order (duplicates share the same object).
+    """
+    requested = list(scenarios)
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+
+    unique: List[ScenarioConfig] = []
+    seen = set()
+    for scenario in requested:
+        if scenario not in seen:
+            seen.add(scenario)
+            unique.append(scenario)
+
+    total = len(unique)
+    done = 0
+    missing: List[ScenarioConfig] = []
+    for scenario in unique:
+        if scenario in _MEMORY:
+            done += 1
+            if progress is not None:
+                progress("memory", scenario, done, total)
+            continue
+        if store is not None:
+            stored = store.get(scenario)
+            if stored is not None:
+                _MEMORY[scenario] = stored
+                done += 1
+                if progress is not None:
+                    progress("store", scenario, done, total)
+                continue
+        missing.append(scenario)
+
+    def consume(computed) -> None:
+        # Results are persisted and reported one by one as they complete,
+        # so an interrupted sweep keeps everything finished so far and
+        # progress lines appear incrementally.
+        nonlocal done
+        for scenario, result in zip(missing, computed):
+            _MEMORY[scenario] = result
+            if store is not None:
+                store.put(result)
+            done += 1
+            if progress is not None:
+                progress("computed", scenario, done, total)
+
+    if missing:
+        if workers == 1 or len(missing) == 1:
+            consume(map(run_scenario_worker, missing))
+        else:
+            # ``fork`` keeps worker start-up cheap where available;
+            # ``get_context()`` falls back to the platform default elsewhere.
+            with get_context().Pool(processes=min(workers, len(missing))) as pool:
+                consume(pool.imap(run_scenario_worker, missing))
+
+    return [_MEMORY[scenario] for scenario in requested]
+
+
+def run_one(
+    scenario: ScenarioConfig, store: Optional[ResultStore] = None
+) -> SimulationResult:
+    """Resolve a single scenario through the cache tiers (never forks)."""
+    return run_scenarios([scenario], workers=1, store=store)[0]

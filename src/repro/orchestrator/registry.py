@@ -1,0 +1,79 @@
+"""Named sweep families.
+
+A **sweep family** declares, for a given experiment profile, the grid of
+:class:`~repro.wsn.scenario.ScenarioConfig` objects behind one named
+workload -- a paper figure, an accuracy study, a stress grid -- plus an
+optional report builder that renders the family's tables once the grid has
+been resolved.  Families are registered by name (the experiment modules in
+:mod:`repro.experiments.sweeps` register the paper's nine, and new
+workloads can register theirs from anywhere), and are what the
+``repro-wsn sweep`` CLI runs through the parallel executor.
+
+This module is intentionally ignorant of the experiments layer: a family's
+``build``/``report`` callables receive the profile object opaquely, so the
+registry can sit below every layer that wants to declare work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import ExperimentError
+from ..wsn.scenario import ScenarioConfig
+
+__all__ = ["SweepFamily", "register", "get_family", "family_names", "all_families"]
+
+
+@dataclass(frozen=True)
+class SweepFamily:
+    """One named sweep.
+
+    Attributes
+    ----------
+    name:
+        Registry key (what ``repro-wsn sweep <name>`` takes).
+    description:
+        One line shown by ``repro-wsn sweep --list``.
+    build:
+        ``build(profile) -> [ScenarioConfig, ...]``: the full scenario grid
+        of the family at that profile (duplicates allowed; the executor
+        deduplicates).
+    report:
+        Optional ``report(profile) -> [FigureResult, ...]``: renders the
+        family's tables.  Called after the grid is resolved, so every run it
+        needs is a cache hit.
+    """
+
+    name: str
+    description: str
+    build: Callable[[Any], Sequence[ScenarioConfig]]
+    report: Optional[Callable[[Any], Sequence[Any]]] = None
+
+
+_FAMILIES: Dict[str, SweepFamily] = {}
+
+
+def register(family: SweepFamily, replace: bool = False) -> SweepFamily:
+    """Add ``family`` to the registry (``replace=True`` to re-register)."""
+    if not replace and family.name in _FAMILIES:
+        raise ExperimentError(f"sweep family {family.name!r} already registered")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> SweepFamily:
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown sweep family {name!r}; registered: {family_names()}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    return sorted(_FAMILIES)
+
+
+def all_families() -> List[SweepFamily]:
+    return [_FAMILIES[name] for name in family_names()]

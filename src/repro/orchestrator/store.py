@@ -1,0 +1,142 @@
+"""Persistent, content-addressed result store.
+
+Every :class:`~repro.wsn.scenario.ScenarioConfig` has a *canonical encoding*
+(deterministic JSON over every field, nested configs included) whose SHA-256
+digest is the scenario's **store key**.  A :class:`ResultStore` is a
+directory of ``<key>.json`` files, each holding the full serialised
+:class:`~repro.wsn.results.SimulationResult` of one run.  Because scenarios
+are pure functions of their configuration, a stored result is valid forever:
+reruns are free across processes, and an interrupted sweep resumes from
+whatever subset of its grid already landed on disk.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed process never
+  leaves a half-written entry under a final key;
+* reads treat *any* undecodable file -- truncated, corrupted, produced by an
+  incompatible schema -- as a cache miss and recompute, never crash;
+* a decoded entry whose embedded scenario does not match the requested one
+  (hash collision, or an encoding that silently dropped a field) is also a
+  miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..wsn.results import SimulationResult
+from ..wsn.scenario import ScenarioConfig
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "canonical_scenario_json",
+    "scenario_key",
+    "ResultStore",
+]
+
+#: Stamped into every store key.  A stored result is a pure function of the
+#: scenario *and of the simulation code*: bump this whenever a change to the
+#: simulator, detectors or serialisation alters what a scenario computes, so
+#: warm stores from older code are invalidated instead of silently served.
+STORE_SCHEMA_VERSION = 1
+
+
+def canonical_scenario_json(scenario: ScenarioConfig) -> str:
+    """The canonical encoding: deterministic JSON over every scenario field."""
+    return json.dumps(
+        scenario.to_json_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def scenario_key(scenario: ScenarioConfig) -> str:
+    """Content hash of the canonical encoding plus the schema version (the
+    store filename stem)."""
+    keyed = f'{{"schema":{STORE_SCHEMA_VERSION},"scenario":{canonical_scenario_json(scenario)}}}'
+    return hashlib.sha256(keyed.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of serialised simulation results, keyed by scenario."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        # Construction is cheap on purpose (``default_store`` builds one per
+        # lookup from the environment); the directory is created lazily on
+        # the first write.
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, scenario: ScenarioConfig) -> Path:
+        return self.root / f"{scenario_key(scenario)}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, scenario: ScenarioConfig) -> Optional[SimulationResult]:
+        """The stored result for ``scenario``, or ``None`` on a miss.
+
+        A file that cannot be read, parsed or decoded -- or that decodes to
+        a *different* scenario -- is treated as a miss (the executor will
+        recompute and overwrite it).
+        """
+        path = self.path_for(scenario)
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_json_dict(payload)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, corrupted bytes, incompatible schema: miss.
+            return None
+        if result.scenario != scenario:
+            return None
+        return result
+
+    def put(self, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under its scenario's key."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(result.scenario)
+        payload = json.dumps(result.to_json_dict(), sort_keys=True, indent=1)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, scenario: ScenarioConfig) -> bool:  # type: ignore[override]
+        return self.get(scenario) is not None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Path]:
+        """Paths of every (possibly invalid) entry currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        """Decode every valid entry (invalid files are skipped)."""
+        for path in self.entries():
+            try:
+                yield SimulationResult.from_json_dict(json.loads(path.read_text()))
+            except Exception:
+                continue
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r}, entries={len(self)})"

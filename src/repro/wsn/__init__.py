@@ -10,7 +10,12 @@ from .centralized_app import (
 from .deployment import Deployment, build_deployment
 from .detector_app import DistributedDetectorApp
 from .results import SimulationResult
-from .runner import run_repetitions, run_scenario, schedule_workload
+from .runner import (
+    run_repetitions,
+    run_scenario,
+    run_scenario_worker,
+    schedule_workload,
+)
 from .scenario import ScenarioConfig
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "Acknowledgement",
     "SimulationResult",
     "run_scenario",
+    "run_scenario_worker",
     "run_repetitions",
     "schedule_workload",
 ]

@@ -1,17 +1,36 @@
-"""Result container produced by one simulation run."""
+"""Result container produced by one simulation run.
+
+Besides holding the in-memory reports, a :class:`SimulationResult` can be
+serialised to (and rebuilt from) a JSON-safe dict, which is what the
+persistent result store (:mod:`repro.orchestrator.store`) writes to disk
+and what lets sweep results survive across processes.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Set
 
 from ..analysis.accuracy import AccuracyReport
 from ..core.points import RestKey
 from ..network.channel import ChannelStatistics
-from ..network.stats import EnergyReport
+from ..network.stats import EnergyReport, NodeEnergy
 from .scenario import ScenarioConfig
 
 __all__ = ["SimulationResult"]
+
+
+def _encode_rest_keys(keys: Set[RestKey]) -> List[List[Any]]:
+    """Deterministic (sorted) JSON encoding of a set of rest keys."""
+    return [[list(values), origin, epoch] for values, origin, epoch in sorted(keys)]
+
+
+def _decode_rest_keys(encoded: List[List[Any]]) -> Set[RestKey]:
+    return {
+        (tuple(float(v) for v in values), int(origin), int(epoch))
+        for values, origin, epoch in encoded
+    }
 
 
 @dataclass
@@ -67,3 +86,81 @@ class SimulationResult:
             "transmissions": float(self.channel.transmissions),
             "events": float(self.events_executed),
         }
+
+    # ------------------------------------------------------------------
+    # JSON serialisation
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding of the complete result (sets become sorted
+        lists, integer keys become strings, so the encoding is canonical)."""
+        return {
+            "scenario": self.scenario.to_json_dict(),
+            "energy": {
+                "rounds": self.energy.rounds,
+                "nodes": [asdict(node) for node in self.energy.nodes],
+            },
+            "channel": asdict(self.channel),
+            "accuracy": {
+                "exact": {str(n): bool(ok) for n, ok in sorted(self.accuracy.exact.items())},
+                "similarity": {
+                    str(n): sim for n, sim in sorted(self.accuracy.similarity.items())
+                },
+            },
+            "estimates": {
+                str(n): _encode_rest_keys(keys) for n, keys in sorted(self.estimates.items())
+            },
+            "references": {
+                str(n): _encode_rest_keys(keys)
+                for n, keys in sorted(self.references.items())
+            },
+            "protocol_stats": {
+                str(n): dict(sorted(stats.items()))
+                for n, stats in sorted(self.protocol_stats.items())
+            },
+            "events_executed": self.events_executed,
+            "wallclock_seconds": self.wallclock_seconds,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        energy = EnergyReport(
+            (NodeEnergy(**node) for node in data["energy"]["nodes"]),
+            rounds=data["energy"]["rounds"],
+        )
+        accuracy = AccuracyReport(
+            exact={int(n): bool(ok) for n, ok in data["accuracy"]["exact"].items()},
+            similarity={
+                int(n): float(sim) for n, sim in data["accuracy"]["similarity"].items()
+            },
+        )
+        return cls(
+            scenario=ScenarioConfig.from_json_dict(data["scenario"]),
+            energy=energy,
+            channel=ChannelStatistics(**data["channel"]),
+            accuracy=accuracy,
+            estimates={
+                int(n): _decode_rest_keys(keys) for n, keys in data["estimates"].items()
+            },
+            references={
+                int(n): _decode_rest_keys(keys) for n, keys in data["references"].items()
+            },
+            protocol_stats={
+                int(n): {k: int(v) for k, v in stats.items()}
+                for n, stats in data["protocol_stats"].items()
+            },
+            events_executed=int(data["events_executed"]),
+            wallclock_seconds=float(data["wallclock_seconds"]),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON string of everything the simulation *computed*.
+
+        ``wallclock_seconds`` is excluded: it is the one field that varies
+        between two executions of the same scenario, and this string is what
+        the determinism guarantees (parallel == serial, rerun == first run)
+        are stated over.
+        """
+        payload = self.to_json_dict()
+        payload.pop("wallclock_seconds")
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -23,7 +23,12 @@ from .deployment import Deployment, build_deployment
 from .results import SimulationResult
 from .scenario import ScenarioConfig
 
-__all__ = ["run_scenario", "run_repetitions", "schedule_workload"]
+__all__ = [
+    "run_scenario",
+    "run_scenario_worker",
+    "run_repetitions",
+    "schedule_workload",
+]
 
 
 def schedule_workload(deployment: Deployment) -> None:
@@ -128,6 +133,17 @@ def run_scenario(
         events_executed=deployment.simulator.events_executed,
         wallclock_seconds=time.perf_counter() - started,
     )
+
+
+def run_scenario_worker(scenario: ScenarioConfig) -> SimulationResult:
+    """Pool entry point used by the sweep executor.
+
+    A module-level single-argument function so it pickles cleanly into
+    ``multiprocessing`` workers.  A scenario is a pure function of its
+    configuration (the seed drives every random stream), so running it in a
+    worker process yields the same result as running it inline.
+    """
+    return run_scenario(scenario)
 
 
 def run_repetitions(

@@ -9,8 +9,8 @@ channel conditions (packet-loss probability), plus the random seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
 
 from ..core.config import Algorithm, DetectionConfig
 from ..core.errors import ConfigurationError
@@ -108,6 +108,33 @@ class ScenarioConfig:
             field_seed=self.seed,
             missing_seed=self.seed + 1,
         )
+
+    # ------------------------------------------------------------------
+    # JSON serialisation (the persistent result store keys and payloads)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict covering *every* field of this configuration.
+
+        The encoding is produced by :func:`dataclasses.asdict`, so a field
+        added to this class (or to the nested :class:`DetectionConfig` /
+        :class:`InjectionConfig`) is automatically part of the encoding --
+        new scenario knobs can never be silently ignored by the result
+        store's cache key.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
+        """Rebuild a scenario from :meth:`to_json_dict` output.
+
+        Unknown fields raise ``TypeError`` (the constructors reject them),
+        so a stale or corrupted encoding fails loudly instead of decoding
+        to a subtly different scenario.
+        """
+        payload = dict(data)
+        detection = DetectionConfig(**payload.pop("detection"))
+        injection = InjectionConfig(**payload.pop("injection"))
+        return cls(detection=detection, injection=injection, **payload)
 
     def with_detection(self, detection: DetectionConfig) -> "ScenarioConfig":
         return replace(self, detection=detection)

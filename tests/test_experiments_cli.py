@@ -1,5 +1,7 @@
 """Tests for the experiment harness (on a tiny profile) and the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -97,3 +99,45 @@ class TestCli:
     def test_figure_requires_known_name(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "42"])
+
+    def test_run_json_flag_prints_machine_readable_summary(self, capsys):
+        exit_code = main(
+            ["run", "--nodes", "6", "--rounds", "4", "-w", "3", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["node_count"] == 6
+        assert payload["scenario"]["detection"]["window_length"] == 3
+        assert "accuracy_exact" in payload["summary"]
+        assert "avg_total_per_round" in payload["summary"]
+
+
+class TestSweepCli:
+    def test_list_prints_registered_families(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure4", "accuracy", "stress-loss", "scaling-nodes"):
+            assert name in out
+
+    def test_sweep_without_name_fails(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_sweep_runs_cold_then_warm_against_a_store(self, tmp_path, capsys):
+        clear_cache()
+        store = str(tmp_path / "store")
+        argv = ["sweep", "imbalance", "--workers", "2", "--store", store,
+                "--profile", "tiny", "--no-report"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "3 scenario(s), 3 unique, 3 simulated" in cold
+
+        clear_cache()  # simulate a fresh process; only the disk tier remains
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert "3 from store" in warm
+
+    def test_sweep_report_renders_tables(self, capsys):
+        clear_cache()
+        assert main(["sweep", "example51", "--profile", "tiny"]) == 0
+        assert "Section 5.1 example" in capsys.readouterr().out
