@@ -46,7 +46,7 @@ class CentralizedAggregator:
         #: enters the index on 0 -> 1 and leaves it on 1 -> 0.
         self._multiplicity: Counter = Counter()
         self._index: Optional[NeighborhoodIndex] = (
-            NeighborhoodIndex() if indexed else None
+            NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
         )
         self.updates_received = 0
 

@@ -12,15 +12,24 @@ output)::
 
     repro-wsn run --algorithm global --ranking nn --nodes 16 --rounds 15 -w 10
 
+Run the same scenario under a different metric space, over 4-dimensional
+(temperature, humidity, x, y) points::
+
+    repro-wsn run --nodes 16 --rounds 15 -w 10 --extra-channels 1 \\
+        --metric weighted-euclidean \\
+        --metric-params '{"weights": [1.0, 0.5, 0.02, 0.02]}'
+
 Regenerate a figure (text table written to stdout)::
 
     repro-wsn figure 4
 
-List the registered sweep families, then run one across 4 worker processes
-with results persisted (rerunning is free; an interrupted sweep resumes)::
+List the registered sweep families (sorted, with per-family scenario counts
+at the selected profile), then run one across 4 worker processes with
+results persisted (rerunning is free; an interrupted sweep resumes)::
 
     repro-wsn sweep --list
     repro-wsn sweep figure4 --workers 4 --store results/store --profile paper
+    repro-wsn sweep metric-sensitivity --workers 4 --store results/store
 """
 
 from __future__ import annotations
@@ -33,6 +42,8 @@ import time
 from typing import List, Optional
 
 from .core.config import Algorithm, DetectionConfig
+from .core.errors import ReproError
+from .core.metrics import registered_metrics
 from .wsn.runner import run_scenario
 from .wsn.scenario import ScenarioConfig
 
@@ -57,6 +68,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=int, default=1, help="hop diameter (semi-global)")
     run.add_argument("--loss", type=float, default=0.0, help="packet loss probability")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--metric",
+        choices=registered_metrics(),
+        default="euclidean",
+        help="metric space the ranking scores in",
+    )
+    run.add_argument(
+        "--metric-params",
+        metavar="JSON",
+        default=None,
+        help="metric parameters as a JSON object, e.g. "
+        "'{\"weights\": [1.0, 0.5, 0.02, 0.02]}' for weighted-euclidean "
+        "or '{\"cov\": [[...], ...]}' for mahalanobis",
+    )
+    run.add_argument(
+        "--extra-channels",
+        type=int,
+        default=0,
+        help="additional correlated sensing channels beyond temperature "
+        "(points become (3 + N)-dimensional)",
+    )
     run.add_argument(
         "--json",
         action="store_true",
@@ -119,23 +151,48 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    detection = DetectionConfig(
-        algorithm=args.algorithm,
-        ranking=args.ranking,
-        n_outliers=args.outliers,
-        k=args.k,
-        window_length=args.window,
-        hop_diameter=args.epsilon,
-        indexed=not args.no_index,
-    )
-    scenario = ScenarioConfig(
-        detection=detection,
-        node_count=args.nodes,
-        rounds=args.rounds,
-        loss_probability=args.loss,
-        seed=args.seed,
-    )
-    result = run_scenario(scenario)
+    metric_params = ()
+    if args.metric_params:
+        try:
+            decoded = json.loads(args.metric_params)
+        except json.JSONDecodeError as error:
+            print(f"error: --metric-params is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(decoded, dict):
+            print("error: --metric-params must be a JSON object", file=sys.stderr)
+            return 2
+        metric_params = tuple(decoded.items())
+    try:
+        detection = DetectionConfig(
+            algorithm=args.algorithm,
+            ranking=args.ranking,
+            n_outliers=args.outliers,
+            k=args.k,
+            window_length=args.window,
+            hop_diameter=args.epsilon,
+            indexed=not args.no_index,
+            metric=args.metric,
+            metric_params=metric_params,
+        )
+        scenario = ScenarioConfig(
+            detection=detection,
+            node_count=args.nodes,
+            rounds=args.rounds,
+            loss_probability=args.loss,
+            extra_channels=args.extra_channels,
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = run_scenario(scenario)
+    except ReproError as error:
+        # Configuration problems only detectable mid-run (e.g. a metric
+        # parameterisation that does not fit a custom dataset's dimension)
+        # still exit cleanly instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         payload = {
             "scenario": scenario.to_json_dict(),
@@ -191,9 +248,25 @@ def _command_sweep(args: argparse.Namespace) -> int:
         run_scenarios,
     )
 
+    try:
+        profile = (
+            experiments.profile_by_name(args.profile)
+            if args.profile
+            else experiments.active_profile()
+        )
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     if args.list:
+        # Families print in sorted name order with the size of each family's
+        # scenario grid at the selected profile, so a glance shows both what
+        # exists and what running it would cost.
         for family in all_families():
-            print(f"{family.name:16s} {family.description}")
+            count = len(list(family.build(profile)))
+            print(
+                f"{family.name:20s} {count:4d} scenario(s)  {family.description}"
+            )
         return 0
     if args.name is None:
         print("error: a sweep name is required (or --list)", file=sys.stderr)
@@ -201,11 +274,6 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     try:
         family = get_family(args.name)
-        profile = (
-            experiments.profile_by_name(args.profile)
-            if args.profile
-            else experiments.active_profile()
-        )
         # Flags win; the REPRO_* environment variables (honored by every
         # other entry point) are the fallback.
         workers = args.workers if args.workers is not None else default_workers()

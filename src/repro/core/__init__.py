@@ -5,6 +5,12 @@ The public surface re-exported here is everything a downstream user needs to
 run in-network outlier detection over their own transport:
 
 * data model: :class:`DataPoint`, :func:`make_point`, :func:`distance`;
+* metric spaces: :class:`Metric` and the registry
+  (:func:`metric_from_name`) of concrete metrics -- Euclidean (default),
+  Manhattan, Chebyshev, weighted Euclidean, Mahalanobis -- each bundling a
+  pointwise ``distance`` with vectorized ``rows``/``pairwise`` kernels that
+  agree bitwise, so every detector, index and ranking function runs
+  unchanged over a pluggable geometry;
 * ranking functions: :class:`NearestNeighborDistance`,
   :class:`KthNearestNeighborDistance`, :class:`AverageKNNDistance`,
   :class:`NeighborCountWithinRadius`;
@@ -43,6 +49,17 @@ from .index import IndexSubset, NeighborhoodIndex
 from .inmemory import DeliveryLog, InMemoryNetwork
 from .interfaces import DetectorStatistics, OutlierDetector
 from .messages import OutlierMessage
+from .metrics import (
+    EUCLIDEAN,
+    ChebyshevMetric,
+    EuclideanMetric,
+    MahalanobisMetric,
+    ManhattanMetric,
+    Metric,
+    WeightedEuclideanMetric,
+    metric_from_name,
+    registered_metrics,
+)
 from .outliers import OutlierQuery, ranked_points, top_n_outliers
 from .points import (
     DataPoint,
@@ -94,6 +111,16 @@ __all__ = [
     "sort_key",
     "min_hop_merge",
     "restrict_by_hop",
+    # metric spaces
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "WeightedEuclideanMetric",
+    "MahalanobisMetric",
+    "EUCLIDEAN",
+    "metric_from_name",
+    "registered_metrics",
     # ranking
     "RankingFunction",
     "NearestNeighborDistance",

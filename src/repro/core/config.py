@@ -11,14 +11,51 @@ fast rather than deep inside a simulation run.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Mapping, Optional, Tuple
 
 from .errors import ConfigurationError
+from .metrics import Metric, metric_from_name
 from .outliers import OutlierQuery
 from .ranking import RankingFunction, ranking_from_name
 
 __all__ = ["DetectionConfig", "Algorithm"]
+
+#: Canonical encoding of a metric's keyword parameters: a tuple of
+#: ``(name, value)`` pairs sorted by name, with every numeric leaf coerced
+#: to ``float`` and every sequence to a tuple.  This form is hashable (the
+#: configs are dict keys in the orchestrator's memory cache) and stable
+#: under a JSON round-trip (JSON turns tuples into lists; re-freezing on
+#: decode restores equality with the original).
+MetricParams = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_param_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_param_value(v) for v in value)
+    if isinstance(value, bool) or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise ConfigurationError(
+        f"metric parameter values must be numbers, strings or nested "
+        f"sequences thereof, got {value!r}"
+    )
+
+
+def _freeze_metric_params(params: Any) -> MetricParams:
+    if isinstance(params, Mapping):
+        items = list(params.items())
+    else:
+        try:
+            items = [(key, value) for key, value in params]
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"metric_params must be a mapping or an iterable of "
+                f"(name, value) pairs, got {params!r}"
+            ) from None
+    return tuple(sorted((str(key), _freeze_param_value(value)) for key, value in items))
 
 
 class Algorithm:
@@ -43,6 +80,15 @@ class DetectionConfig:
     ranking:
         Short name of the ranking function (``"nn"``, ``"knn"``, ``"kth-nn"``
         or ``"count"``).
+    metric / metric_params:
+        Registry name of the metric space the ranking scores in (see
+        :func:`~repro.core.metrics.metric_from_name`; default
+        ``"euclidean"``) plus its keyword parameters as ``(name, value)``
+        pairs -- e.g. ``(("weights", (1.0, 0.5, 0.1)),)`` for
+        ``"weighted-euclidean"`` or ``(("cov", ...),)`` for
+        ``"mahalanobis"``.  Both are validated eagerly; the parameters are
+        frozen into a canonical hashable tuple form that survives the JSON
+        round-trip of the persistent result store.
     n_outliers:
         Number of outliers to report (the paper's ``n``).
     k:
@@ -75,6 +121,8 @@ class DetectionConfig:
     hop_diameter: int = 1
     semiglobal_variant: str = "refined"
     indexed: bool = True
+    metric: str = "euclidean"
+    metric_params: MetricParams = ()
 
     def __post_init__(self) -> None:
         if self.algorithm not in Algorithm.ALL:
@@ -87,8 +135,13 @@ class DetectionConfig:
             )
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
-        if self.alpha <= 0:
-            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        # NaN slips through a plain ``<= 0`` comparison (every comparison
+        # with NaN is false) and an infinite radius makes COUNT degenerate;
+        # both used to surface deep inside a run instead of here.
+        if not (self.alpha > 0 and math.isfinite(self.alpha)):
+            raise ConfigurationError(
+                f"alpha must be a positive finite number, got {self.alpha}"
+            )
         if self.window_length < 1:
             raise ConfigurationError(
                 f"window_length must be >= 1, got {self.window_length}"
@@ -102,15 +155,27 @@ class DetectionConfig:
                 f"semiglobal_variant must be 'refined' or 'paper', "
                 f"got {self.semiglobal_variant!r}"
             )
-        # Validate the ranking name eagerly (raises ConfigurationError).
-        ranking_from_name(self.ranking, k=self.k, alpha=self.alpha)
+        # Freeze the metric parameters into their canonical hashable form
+        # (lists from a JSON decode become tuples, numbers become floats),
+        # then instantiate the ranking + metric eagerly so that unknown
+        # names and invalid parameters fail here, not deep inside a run.
+        object.__setattr__(
+            self, "metric_params", _freeze_metric_params(self.metric_params)
+        )
+        self.make_ranking()
 
     # ------------------------------------------------------------------
     # Factories
     # ------------------------------------------------------------------
+    def make_metric(self) -> Metric:
+        """Instantiate the configured metric space."""
+        return metric_from_name(self.metric, **dict(self.metric_params))
+
     def make_ranking(self) -> RankingFunction:
-        """Instantiate the configured ranking function."""
-        return ranking_from_name(self.ranking, k=self.k, alpha=self.alpha)
+        """Instantiate the configured ranking function (with its metric)."""
+        return ranking_from_name(
+            self.ranking, k=self.k, alpha=self.alpha, metric=self.make_metric()
+        )
 
     def make_query(self) -> OutlierQuery:
         """Bundle the ranking function with ``n`` into an
@@ -132,6 +197,12 @@ class DetectionConfig:
     def with_indexed(self, indexed: bool) -> "DetectionConfig":
         """Copy of this configuration toggling the incremental index."""
         return replace(self, indexed=indexed)
+
+    def with_metric(self, metric: str, **metric_params: Any) -> "DetectionConfig":
+        """Copy of this configuration under a different metric space."""
+        return replace(
+            self, metric=metric, metric_params=tuple(metric_params.items())
+        )
 
     def label(self) -> str:
         """Plot label matching the paper's naming convention."""

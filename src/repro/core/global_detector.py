@@ -80,7 +80,11 @@ class GlobalOutlierDetector(OutlierDetector):
         self._holdings: Set[DataPoint] = set()
         self._sent: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
         self._received: Dict[int, Set[DataPoint]] = {j: set() for j in self._neighbors}
-        self._index = NeighborhoodIndex() if indexed else None
+        # The index must sort its neighbor lists under the same metric the
+        # query's ranking function scores in.
+        self._index = (
+            NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
+        )
 
     # ------------------------------------------------------------------
     # Read-only views

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .metrics import Metric
 
 __all__ = [
     "DataPoint",
@@ -159,8 +161,18 @@ def sort_key(point: DataPoint) -> Tuple[Tuple[float, ...], int, int]:
     return (point.values, point.origin, point.epoch)
 
 
-def distance(a: DataPoint, b: DataPoint) -> float:
-    """Euclidean distance between the value vectors of two points."""
+def distance(a: DataPoint, b: DataPoint, metric: Optional[Metric] = None) -> float:
+    """Distance between the value vectors of two points.
+
+    Without a ``metric`` this is the Euclidean distance computed by
+    :func:`math.dist` (the repository's historical default, kept on the
+    fast path with its original ``ValueError`` contract).  Pass any
+    :class:`~repro.core.metrics.Metric` to measure under a different
+    geometry; the metric raises
+    :class:`~repro.core.errors.RankingError` on dimension mismatch.
+    """
+    if metric is not None:
+        return metric.distance(a.values, b.values)
     if len(a.values) != len(b.values):
         raise ValueError(
             f"dimension mismatch: {len(a.values)} != {len(b.values)}"

@@ -27,6 +27,12 @@ discussion:
 Every ranking function also knows how to compute the *minimal support set*
 ``[P|x]`` required by the distributed protocol (see
 :mod:`repro.core.support`).
+
+All three rankings are metric-agnostic: they accept any
+:class:`~repro.core.metrics.Metric` (default: Euclidean) and route every
+distance -- scalar scoring, the vectorized bulk oracle and the sorted
+support-set walks -- through it, so the paper's algorithms run unchanged
+over Manhattan, Chebyshev, weighted or Mahalanobis geometry.
 """
 
 from __future__ import annotations
@@ -34,12 +40,13 @@ from __future__ import annotations
 import bisect
 import math
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .errors import ConfigurationError, RankingError
-from .points import DataPoint, distance, sort_key
+from .metrics import EUCLIDEAN, Metric
+from .points import DataPoint, sort_key
 
 __all__ = [
     "RankingFunction",
@@ -77,10 +84,14 @@ def _neighbors(x: DataPoint, Q: Iterable[DataPoint]) -> list[DataPoint]:
     return [q for q in Q if sort_key(q) != xkey]
 
 
-def _sorted_by_distance(x: DataPoint, candidates: Sequence[DataPoint]) -> list[DataPoint]:
+def _sorted_by_distance(
+    x: DataPoint, candidates: Sequence[DataPoint], metric: Metric = EUCLIDEAN
+) -> list[DataPoint]:
     """Candidates sorted by increasing distance to ``x``; ties broken by the
     fixed total order ``≺`` so that the result is deterministic."""
-    return sorted(candidates, key=lambda q: (distance(x, q), sort_key(q)))
+    dist = metric.distance
+    xv = x.values
+    return sorted(candidates, key=lambda q: (dist(xv, q.values), sort_key(q)))
 
 
 def _nearest_indexed(index, x: DataPoint, k: int, subset) -> list:
@@ -126,6 +137,32 @@ class RankingFunction(ABC):
 
     #: Human-readable name used in plots, tables and the CLI.
     name: str = "abstract"
+
+    #: The metric space the ranking scores in.  A class-level default keeps
+    #: user-defined subclasses (which may never call a constructor that sets
+    #: it) on the historical Euclidean geometry; the built-in rankings
+    #: override it per instance from their ``metric=`` constructor argument.
+    metric: Metric = EUCLIDEAN
+
+    def _distance(self, x: DataPoint, q: DataPoint) -> float:
+        """``dist(x, q)`` under the configured metric."""
+        return self.metric.distance(x.values, q.values)
+
+    def _check_index_metric(self, index) -> None:
+        """Reject an index whose cached neighbor lists were sorted under a
+        *different* metric: the built-in indexed fast paths read distances
+        straight out of the cache, so a mismatch would silently return
+        scores in the wrong geometry.  The identity check short-circuits
+        every internal path (detectors build index and ranking from the same
+        metric instance)."""
+        metric = getattr(index, "metric", None)
+        if metric is None or self.metric.compatible_with(metric):
+            return
+        raise RankingError(
+            f"index is sorted under metric {metric!r} but the ranking "
+            f"scores under {self.metric!r}; build the index with the "
+            f"ranking's metric"
+        )
 
     @abstractmethod
     def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
@@ -197,33 +234,26 @@ class RankingFunction(ABC):
         """
         return [self.score(p, Q) for p in Q]
 
-    @staticmethod
-    def _pairwise_distances(Q: Sequence[DataPoint]) -> "np.ndarray":
-        """All-pairs Euclidean distance matrix over the value vectors.
+    def _pairwise_distances(self, Q: Sequence[DataPoint]) -> "np.ndarray":
+        """All-pairs distance matrix over the value vectors, under the
+        configured metric's :meth:`~repro.core.metrics.Metric.pairwise`
+        kernel.
 
-        Every entry is computed with ``math.dist`` -- the same function the
-        scalar :meth:`score`/:meth:`support` paths and the incremental
-        :class:`~repro.core.index.NeighborhoodIndex` use -- so all code
-        paths see bit-identical distances.  (A vectorised
-        ``sqrt((a-b)²).sum())`` can differ from ``math.dist`` in the last
-        ulp, which is enough to flip a tie-break and desynchronise the
-        indexed and brute-force answers on quantised sensor readings.)
+        Every metric guarantees its kernel is bit-identical to its scalar
+        ``distance`` -- the same floats the :meth:`score`/:meth:`support`
+        paths and the incremental
+        :class:`~repro.core.index.NeighborhoodIndex` see -- because a
+        last-ulp disagreement is enough to flip a tie-break and
+        desynchronise the indexed and brute-force answers on quantised
+        sensor readings (see :mod:`repro.core.metrics`).
 
-        Entries between points that share the same ``≺`` key (i.e. copies of
-        the same observation) are set to ``+inf`` so they are never counted
-        as each other's neighbors, mirroring the candidate-exclusion rule of
-        :func:`_neighbors`.
+        The diagonal and all entries between points that share the same
+        ``≺`` key (i.e. copies of the same observation) are set to ``+inf``
+        so they are never counted as each other's neighbors, mirroring the
+        candidate-exclusion rule of :func:`_neighbors`.
         """
-        size = len(Q)
-        matrix = np.full((size, size), np.inf)
-        values = [q.values for q in Q]
-        dist = math.dist
-        for i in range(size):
-            row_values = values[i]
-            for j in range(i + 1, size):
-                d = dist(row_values, values[j])
-                matrix[i, j] = d
-                matrix[j, i] = d
+        matrix = self.metric.pairwise([q.values for q in Q])
+        np.fill_diagonal(matrix, np.inf)
         # Copies of the same observation (identical ``≺`` keys, e.g. hop
         # variants) must not count as each other's neighbors either.
         groups: dict = {}
@@ -253,17 +283,18 @@ class KthNearestNeighborDistance(RankingFunction):
     the deficit), and adding that point alone already lowers the score.
     """
 
-    def __init__(self, k: int = 1) -> None:
+    def __init__(self, k: int = 1, metric: Optional[Metric] = None) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = int(k)
         self.name = "NN" if self.k == 1 else f"{self.k}-NN"
+        self.metric = EUCLIDEAN if metric is None else metric
 
     def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
         candidates = _neighbors(x, Q)
         if len(candidates) < self.k:
             return (self.k - len(candidates)) * DEFICIT_UNIT
-        dists = sorted(distance(x, q) for q in candidates)
+        dists = sorted(self._distance(x, q) for q in candidates)
         return dists[self.k - 1]
 
     def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
@@ -281,7 +312,7 @@ class KthNearestNeighborDistance(RankingFunction):
         return scores
 
     def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
-        candidates = _sorted_by_distance(x, _neighbors(x, P))
+        candidates = _sorted_by_distance(x, _neighbors(x, P), self.metric)
         if len(candidates) < self.k:
             # Every candidate is needed to certify that the k-th neighbor does
             # not exist (score stays infinite only if *no* subset has k
@@ -290,6 +321,7 @@ class KthNearestNeighborDistance(RankingFunction):
         return frozenset(candidates[: self.k])
 
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        self._check_index_metric(index)
         if subset is None:
             entries = index.entries(x)
             if len(entries) < self.k:
@@ -303,6 +335,7 @@ class KthNearestNeighborDistance(RankingFunction):
     def bulk_scores_indexed(
         self, index, points: Sequence[DataPoint], subset=None
     ) -> List[float]:
+        self._check_index_metric(index)
         if subset is not None:
             return [self.score_indexed(index, p, subset) for p in points]
         k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
@@ -314,6 +347,7 @@ class KthNearestNeighborDistance(RankingFunction):
         ]
 
     def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        self._check_index_metric(index)
         nearest = _nearest_indexed(index, x, self.k, subset)
         return frozenset(index.point_at(slot) for _, slot in nearest)
 
@@ -324,8 +358,8 @@ class KthNearestNeighborDistance(RankingFunction):
 class NearestNeighborDistance(KthNearestNeighborDistance):
     """Distance to the nearest neighbor (``NN`` in the paper's plots)."""
 
-    def __init__(self) -> None:
-        super().__init__(k=1)
+    def __init__(self, metric: Optional[Metric] = None) -> None:
+        super().__init__(k=1, metric=metric)
 
 
 class AverageKNNDistance(RankingFunction):
@@ -336,17 +370,18 @@ class AverageKNNDistance(RankingFunction):
     deficit penalty ``(k - available) * DEFICIT_UNIT``.
     """
 
-    def __init__(self, k: int = 4) -> None:
+    def __init__(self, k: int = 4, metric: Optional[Metric] = None) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = int(k)
         self.name = f"KNN(k={self.k})"
+        self.metric = EUCLIDEAN if metric is None else metric
 
     def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
         candidates = _neighbors(x, Q)
         if len(candidates) < self.k:
             return (self.k - len(candidates)) * DEFICIT_UNIT
-        dists = sorted(distance(x, q) for q in candidates)
+        dists = sorted(self._distance(x, q) for q in candidates)
         return sum(dists[: self.k]) / self.k
 
     def bulk_scores(self, Q: Sequence[DataPoint]) -> List[float]:
@@ -368,12 +403,13 @@ class AverageKNNDistance(RankingFunction):
         return scores
 
     def support(self, x: DataPoint, P: Iterable[DataPoint]) -> FrozenSet[DataPoint]:
-        candidates = _sorted_by_distance(x, _neighbors(x, P))
+        candidates = _sorted_by_distance(x, _neighbors(x, P), self.metric)
         if len(candidates) < self.k:
             return frozenset(candidates)
         return frozenset(candidates[: self.k])
 
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        self._check_index_metric(index)
         if subset is None:
             entries = index.entries(x)
             if len(entries) < self.k:
@@ -389,6 +425,7 @@ class AverageKNNDistance(RankingFunction):
     def bulk_scores_indexed(
         self, index, points: Sequence[DataPoint], subset=None
     ) -> List[float]:
+        self._check_index_metric(index)
         if subset is not None:
             return [self.score_indexed(index, p, subset) for p in points]
         k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
@@ -400,6 +437,7 @@ class AverageKNNDistance(RankingFunction):
         ]
 
     def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        self._check_index_metric(index)
         nearest = _nearest_indexed(index, x, self.k, subset)
         return frozenset(index.point_at(slot) for _, slot in nearest)
 
@@ -419,14 +457,15 @@ class NeighborCountWithinRadius(RankingFunction):
     within ``α`` of ``x`` and adding it alone already drops the score.
     """
 
-    def __init__(self, alpha: float) -> None:
+    def __init__(self, alpha: float, metric: Optional[Metric] = None) -> None:
         if not (alpha > 0 and math.isfinite(alpha)):
             raise ConfigurationError(f"alpha must be a positive finite number, got {alpha}")
         self.alpha = float(alpha)
         self.name = f"COUNT(alpha={self.alpha:g})"
+        self.metric = EUCLIDEAN if metric is None else metric
 
     def _within(self, x: DataPoint, Q: Iterable[DataPoint]) -> list[DataPoint]:
-        return [q for q in _neighbors(x, Q) if distance(x, q) <= self.alpha]
+        return [q for q in _neighbors(x, Q) if self._distance(x, q) <= self.alpha]
 
     def score(self, x: DataPoint, Q: Iterable[DataPoint]) -> float:
         return 1.0 / (1.0 + len(self._within(x, Q)))
@@ -445,9 +484,11 @@ class NeighborCountWithinRadius(RankingFunction):
         return frozenset(self._within(x, P))
 
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
+        self._check_index_metric(index)
         return 1.0 / (1.0 + len(_within_indexed(index, x, self.alpha, subset)))
 
     def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
+        self._check_index_metric(index)
         return frozenset(
             index.point_at(slot)
             for slot in _within_indexed(index, x, self.alpha, subset)
@@ -470,18 +511,26 @@ def rank_key(
 
 
 _RANKING_FACTORIES = {
-    "nn": lambda k=1, alpha=None: NearestNeighborDistance(),
-    "knn": lambda k=4, alpha=None: AverageKNNDistance(k=k),
-    "kth-nn": lambda k=4, alpha=None: KthNearestNeighborDistance(k=k),
-    "count": lambda k=None, alpha=1.0: NeighborCountWithinRadius(alpha=alpha),
+    "nn": lambda k=1, alpha=None, metric=None: NearestNeighborDistance(metric=metric),
+    "knn": lambda k=4, alpha=None, metric=None: AverageKNNDistance(k=k, metric=metric),
+    "kth-nn": lambda k=4, alpha=None, metric=None: KthNearestNeighborDistance(
+        k=k, metric=metric
+    ),
+    "count": lambda k=None, alpha=1.0, metric=None: NeighborCountWithinRadius(
+        alpha=alpha, metric=metric
+    ),
 }
 
 
-def ranking_from_name(name: str, k: int = 4, alpha: float = 1.0) -> RankingFunction:
+def ranking_from_name(
+    name: str, k: int = 4, alpha: float = 1.0, metric: Optional[Metric] = None
+) -> RankingFunction:
     """Build a ranking function from a short name.
 
     Recognised names (case-insensitive): ``"nn"``, ``"knn"``, ``"kth-nn"``,
     ``"count"``.  ``k`` applies to the k-NN family, ``alpha`` to ``"count"``.
+    ``metric`` selects the metric space the ranking scores in (default:
+    Euclidean, see :mod:`repro.core.metrics`).
     """
     try:
         factory = _RANKING_FACTORIES[name.strip().lower()]
@@ -490,4 +539,4 @@ def ranking_from_name(name: str, k: int = 4, alpha: float = 1.0) -> RankingFunct
             f"unknown ranking function {name!r}; expected one of "
             f"{sorted(_RANKING_FACTORIES)}"
         ) from None
-    return factory(k=k, alpha=alpha)
+    return factory(k=k, alpha=alpha, metric=metric)

@@ -112,7 +112,7 @@ def semi_global_reference_all(
         sensor_id: [p.with_hop(0) for p in points]
         for sensor_id, points in datasets.items()
     }
-    index = NeighborhoodIndex()
+    index = NeighborhoodIndex(metric=query.ranking.metric)
     for points in normalized.values():
         for point in points:
             index.add(point)

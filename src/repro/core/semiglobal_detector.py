@@ -116,7 +116,11 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         self._received: Dict[int, Dict[RestKey, DataPoint]] = {
             j: {} for j in self._neighbors
         }
-        self._index = NeighborhoodIndex() if indexed else None
+        # The index must sort its neighbor lists under the same metric the
+        # query's ranking function scores in.
+        self._index = (
+            NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
+        )
 
     # ------------------------------------------------------------------
     # Index maintenance (min-hop-merge aware)

@@ -13,7 +13,14 @@ from .layout import (
 from .loader import DatasetConfig, build_intel_lab_dataset
 from .outlier_injection import InjectionConfig, InjectionRecord, inject_anomalies
 from .streams import SensorDataset
-from .synthetic import TemperatureFieldModel, generate_readings
+from .synthetic import (
+    EXTRA_CHANNEL_SPECS,
+    ChannelSpec,
+    MultiAttributeFieldModel,
+    TemperatureFieldModel,
+    generate_multiattribute_readings,
+    generate_readings,
+)
 
 __all__ = [
     "intel_lab_layout",
@@ -24,6 +31,10 @@ __all__ = [
     "DEFAULT_TRANSMISSION_RANGE",
     "TemperatureFieldModel",
     "generate_readings",
+    "ChannelSpec",
+    "EXTRA_CHANNEL_SPECS",
+    "MultiAttributeFieldModel",
+    "generate_multiattribute_readings",
     "InjectionConfig",
     "InjectionRecord",
     "inject_anomalies",

@@ -49,6 +49,7 @@ def impute_missing(
     stream: Sequence[DataPoint],
     expected_epochs: Sequence[int],
     window_length: int,
+    reading_channels: int = 1,
 ) -> List[DataPoint]:
     """Fill the gaps of one sensor's stream by preceding-window averages.
 
@@ -60,6 +61,11 @@ def impute_missing(
         Every epoch the sensor was supposed to report.
     window_length:
         How many preceding (possibly imputed) readings to average.
+    reading_channels:
+        How many leading value components are sensed readings (each imputed
+        by its own preceding-window average); the remaining components are
+        the fixed deployment coordinates, copied verbatim.  ``1`` matches
+        the paper's single-temperature streams.
     """
     if window_length < 1:
         raise DatasetError(f"window_length must be >= 1, got {window_length}")
@@ -67,22 +73,30 @@ def impute_missing(
     if not by_epoch:
         raise DatasetError("cannot impute an entirely empty stream")
     template = next(iter(by_epoch.values()))
+    if not 1 <= reading_channels <= len(template.values):
+        raise DatasetError(
+            f"reading_channels must be in [1, {len(template.values)}], "
+            f"got {reading_channels}"
+        )
     origin = template.origin
-    coords = template.values[1:]
+    coords = template.values[reading_channels:]
 
     completed: List[DataPoint] = []
-    history: List[float] = []
+    histories: List[List[float]] = [[] for _ in range(reading_channels)]
     for epoch in expected_epochs:
         point = by_epoch.get(epoch)
         if point is None:
-            if history:
-                window = history[-window_length:]
-                value = sum(window) / len(window)
+            if histories[0]:
+                values = tuple(
+                    sum(history[-window_length:]) / len(history[-window_length:])
+                    for history in histories
+                )
             else:
-                value = template.values[0]
-            point = make_point((value,) + coords, origin=origin, epoch=epoch)
+                values = template.values[:reading_channels]
+            point = make_point(values + coords, origin=origin, epoch=epoch)
         completed.append(point)
-        history.append(point.values[0])
+        for channel, history in enumerate(histories):
+            history.append(point.values[channel])
     return completed
 
 
@@ -91,6 +105,7 @@ def apply_missing_data(
     missing_probability: float,
     window_length: int,
     seed: int = 2,
+    reading_channels: int = 1,
 ) -> Tuple[Dict[int, List[DataPoint]], Dict[int, Set[int]]]:
     """Drop then impute readings for every sensor.
 
@@ -108,7 +123,8 @@ def apply_missing_data(
         surviving = dropped[node_id]
         surviving_epochs = {p.epoch for p in surviving}
         completed[node_id] = impute_missing(
-            surviving, expected[node_id], window_length
+            surviving, expected[node_id], window_length,
+            reading_channels=reading_channels,
         )
         imputed_epochs[node_id] = set(expected[node_id]) - surviving_epochs
     return completed, imputed_epochs

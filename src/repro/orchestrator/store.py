@@ -42,7 +42,13 @@ __all__ = [
 #: scenario *and of the simulation code*: bump this whenever a change to the
 #: simulator, detectors or serialisation alters what a scenario computes, so
 #: warm stores from older code are invalidated instead of silently served.
-STORE_SCHEMA_VERSION = 1
+#:
+#: History: 2 -- the metric-space subsystem added ``metric``/``metric_params``
+#: to :class:`~repro.core.config.DetectionConfig` and ``extra_channels`` to
+#: :class:`~repro.wsn.scenario.ScenarioConfig`; entries written by schema-1
+#: code would otherwise decode to a scenario that no longer matches the
+#: requested one field-for-field, so they are recomputed rather than mis-hit.
+STORE_SCHEMA_VERSION = 2
 
 
 def canonical_scenario_json(scenario: ScenarioConfig) -> str:

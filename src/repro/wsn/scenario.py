@@ -13,7 +13,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
 from ..core.config import Algorithm, DetectionConfig
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RankingError
 from ..datasets.layout import (
     DEFAULT_NODE_COUNT,
     DEFAULT_TERRAIN_SIZE,
@@ -50,6 +50,13 @@ class ScenarioConfig:
         routes instead of AODV (ablation isolating route-discovery overhead).
     missing_probability / injection:
         Dataset preparation knobs (see :mod:`repro.datasets`).
+    extra_channels:
+        Number of additional correlated sensing channels beyond temperature
+        (humidity, light, voltage, ...); each point then carries
+        ``3 + extra_channels`` attributes, giving non-Euclidean and
+        weighted metrics a genuinely multi-dimensional workload.  ``0``
+        (default) reproduces the paper's ``(temperature, x, y)`` points
+        bit-for-bit.
     seed:
         Master random seed for the run.
     """
@@ -65,6 +72,7 @@ class ScenarioConfig:
     use_static_routing: bool = False
     missing_probability: float = 0.03
     injection: InjectionConfig = field(default_factory=InjectionConfig)
+    extra_channels: int = 0
     broadcast_jitter: float = 0.05
     seed: int = 0
 
@@ -83,6 +91,19 @@ class ScenarioConfig:
             )
         if self.broadcast_jitter < 0:
             raise ConfigurationError("broadcast_jitter must be non-negative")
+        if self.extra_channels < 0:
+            raise ConfigurationError("extra_channels must be non-negative")
+        # The synthetic workload's points are (3 + extra_channels)-dimensional
+        # (reading channels plus the two coordinates); a parameterised metric
+        # sized for a different dimension would otherwise only blow up deep
+        # inside the run, when the first distance is measured.
+        try:
+            self.detection.make_metric().validate_dimension(3 + self.extra_channels)
+        except RankingError as error:
+            raise ConfigurationError(
+                f"metric does not fit this scenario's "
+                f"{3 + self.extra_channels}-dimensional points: {error}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Derived values and copies
@@ -105,6 +126,7 @@ class ScenarioConfig:
             missing_probability=self.missing_probability,
             imputation_window=self.detection.window_length,
             injection=self.injection,
+            extra_channels=self.extra_channels,
             field_seed=self.seed,
             missing_seed=self.seed + 1,
         )

@@ -108,16 +108,54 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["scenario"]["node_count"] == 6
         assert payload["scenario"]["detection"]["window_length"] == 3
+        assert payload["scenario"]["detection"]["metric"] == "euclidean"
         assert "accuracy_exact" in payload["summary"]
         assert "avg_total_per_round" in payload["summary"]
+
+    def test_run_with_metric_and_extra_channels(self, capsys):
+        exit_code = main(
+            ["run", "--nodes", "6", "--rounds", "4", "-w", "3", "--json",
+             "--metric", "weighted-euclidean",
+             "--metric-params", '{"weights": [1.0, 0.5, 0.02, 0.02]}',
+             "--extra-channels", "1"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["detection"]["metric"] == "weighted-euclidean"
+        assert payload["scenario"]["extra_channels"] == 1
+        assert "accuracy_exact" in payload["summary"]
+
+    def test_run_rejects_bad_metric_params(self, capsys):
+        assert main(
+            ["run", "--nodes", "6", "--rounds", "4",
+             "--metric-params", "not json"]
+        ) == 2
+        assert main(
+            ["run", "--nodes", "6", "--rounds", "4",
+             "--metric", "weighted-euclidean"]  # missing required weights
+        ) == 2
 
 
 class TestSweepCli:
     def test_list_prints_registered_families(self, capsys):
-        assert main(["sweep", "--list"]) == 0
+        assert main(["sweep", "--list", "--profile", "tiny"]) == 0
         out = capsys.readouterr().out
-        for name in ("figure4", "accuracy", "stress-loss", "scaling-nodes"):
+        for name in (
+            "figure4", "accuracy", "stress-loss", "scaling-nodes",
+            "metric-sensitivity",
+        ):
             assert name in out
+
+    def test_list_is_sorted_with_scenario_counts(self, capsys):
+        assert main(["sweep", "--list", "--profile", "tiny"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        # Every row carries the size of the family's grid at the profile.
+        assert all("scenario(s)" in line for line in lines)
+        by_name = {line.split()[0]: line for line in lines}
+        assert "16 scenario(s)" in by_name["stress-loss"]
+        assert "10 scenario(s)" in by_name["metric-sensitivity"]
 
     def test_sweep_without_name_fails(self, capsys):
         assert main(["sweep"]) == 2
@@ -141,3 +179,29 @@ class TestSweepCli:
         clear_cache()
         assert main(["sweep", "example51", "--profile", "tiny"]) == 0
         assert "Section 5.1 example" in capsys.readouterr().out
+
+    def test_metric_sensitivity_sweep_cold_then_warm(self, tmp_path, capsys):
+        """The schema-versioned store must serve every metric variant back
+        warm: 5 metrics x 2 tiny windows = 10 distinct scenario keys."""
+        clear_cache()
+        store = str(tmp_path / "metric-store")
+        argv = ["sweep", "metric-sensitivity", "--workers", "2",
+                "--store", store, "--profile", "tiny", "--no-report"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "10 scenario(s), 10 unique, 10 simulated" in cold
+
+        clear_cache()  # fresh process simulation; only the disk tier remains
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert "10 from store" in warm
+
+    def test_metric_sensitivity_report_covers_every_metric(self, capsys):
+        clear_cache()
+        assert main(["sweep", "metric-sensitivity", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Euclidean", "Manhattan", "Chebyshev",
+                      "Weighted-Euclidean", "Mahalanobis"):
+            assert label in out
+        assert "injected-anomaly precision" in out

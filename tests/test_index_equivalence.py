@@ -17,6 +17,12 @@ Two data regimes are exercised:
   floating-point path (scalar ``math.dist``, the numpy matrix oracle, the
   cached index lists) is provably bit-identical, so the ``≺`` tie-breaking
   logic is stressed hard.
+
+The final section replays the same workloads for *every registered metric*
+(Manhattan, Chebyshev, weighted Euclidean, Mahalanobis): the index sorts its
+neighbor lists under whatever metric it is configured with, and the
+equivalence guarantee -- indexed == brute-force oracle, bitwise -- must hold
+per geometry, not only for the Euclidean default.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from repro.core import (
     top_n_outliers,
 )
 from repro.core.errors import RankingError
+from repro.core.metrics import metric_from_name, registered_metrics
 
 
 def random_connected_adjacency(rng: random.Random, sensors: int):
@@ -107,6 +114,37 @@ def _cloud(rng: random.Random, count: int, dim: int = 2, origin: int = 0,
 
 
 GRID_REGIMES = ["continuous", "int-grid", "tenth-grid"]
+
+
+def _metric_for(name: str, dim: int = 2):
+    """A registered metric instance with parameters sized for ``dim``."""
+    if name == "weighted-euclidean":
+        return metric_from_name(
+            name, weights=tuple(0.5 + 0.5 * i for i in range(dim))
+        )
+    if name == "mahalanobis":
+        # Diagonally dominant SPD matrix with off-diagonal correlation.
+        cov = tuple(
+            tuple(
+                float(dim) + 2.0 + i if i == j else 0.4
+                for j in range(dim)
+            )
+            for i in range(dim)
+        )
+        return metric_from_name(name, cov=cov)
+    return metric_from_name(name)
+
+
+def _metric_rankings(metric):
+    """One representative of every ranking family, on ``metric``.  The COUNT
+    radius is metric-scale dependent, so it is chosen per geometry."""
+    alpha = {"chebyshev": 5.0, "mahalanobis": 3.0}.get(metric.name, 8.0)
+    return [
+        NearestNeighborDistance(metric=metric),
+        KthNearestNeighborDistance(k=3, metric=metric),
+        AverageKNNDistance(k=4, metric=metric),
+        NeighborCountWithinRadius(alpha=alpha, metric=metric),
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -458,3 +496,161 @@ def test_semi_global_reference_shared_index_matches_oracle(nn_query):
     )
     slow = semi_global_reference_all(nn_query, datasets, adjacency, 2)
     assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# Every registered metric: indexed engine vs brute oracle
+#
+# The index caches neighbor lists sorted under its configured metric, so the
+# equivalence guarantee must hold per geometry, not only for the Euclidean
+# default.  These tests replay the churn/scoring/support/sufficient-set and
+# full-transcript workloads above for every name in the metric registry.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("grid", GRID_REGIMES)
+@pytest.mark.parametrize("metric_name", registered_metrics())
+def test_scores_and_supports_match_oracle_under_every_metric(metric_name, grid):
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-{grid}-metric-churn")  # str seeds are deterministic
+    mirror = _cloud(rng, 24, grid=grid)
+    index = NeighborhoodIndex(mirror, metric=metric)
+    rankings = _metric_rankings(metric)
+    next_epoch = 1000
+    for step in range(60):
+        if rng.random() < 0.45 and len(mirror) > 5:
+            victim = rng.choice(mirror)
+            mirror.remove(victim)
+            assert index.discard(victim)
+        else:
+            fresh = _cloud(rng, 1, origin=1, start_epoch=next_epoch, grid=grid)[0]
+            next_epoch += 1
+            mirror.append(fresh)
+            assert index.add(fresh)
+        if step % 12 != 0:
+            continue
+        for ranking in rankings:
+            # Bulk oracle, scalar oracle and indexed walks, bitwise.
+            bulk = ranking.bulk_scores(mirror)
+            for i, x in enumerate(rng.sample(mirror, min(5, len(mirror)))):
+                scalar = ranking.score(x, mirror)
+                assert ranking.score_indexed(index, x) == scalar
+                assert bulk[mirror.index(x)] == scalar
+                assert ranking.support_indexed(index, x) == ranking.support(x, mirror)
+            # Subset scoring (the sufficient-set fixpoint shape).
+            sub = rng.sample(mirror, max(4, len(mirror) // 2))
+            covered, subset = index.try_subset(sub)
+            assert covered
+            for x in rng.sample(sub, min(4, len(sub))):
+                assert ranking.score_indexed(index, x, subset) == ranking.score(x, sub)
+                assert (
+                    ranking.support_indexed(index, x, subset)
+                    == ranking.support(x, sub)
+                )
+            assert (
+                top_n_outliers(ranking, mirror, 5, index=index)
+                == top_n_outliers(ranking, mirror, 5)
+            )
+
+
+@pytest.mark.parametrize("metric_name", registered_metrics())
+def test_sufficient_sets_match_oracle_under_every_metric(metric_name):
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-metric-zfix")
+    for ranking in _metric_rankings(metric):
+        query = OutlierQuery(ranking, n=3)
+        for _ in range(4):
+            P = _cloud(rng, rng.randint(8, 28))
+            index = NeighborhoodIndex(P, metric=metric)
+            shared = set(rng.sample(P, rng.randint(0, len(P) // 2)))
+            fast = compute_sufficient_set(query, P, shared, index=index)
+            slow = compute_sufficient_set(query, P, shared)
+            assert fast == slow
+            assert satisfies_sufficiency(query, fast, P, shared)
+
+
+@pytest.mark.parametrize(
+    "metric_name", [name for name in registered_metrics() if name != "euclidean"]
+)
+def test_global_detector_transcripts_match_oracle_under_metric(metric_name):
+    """Whole-protocol equivalence under non-Euclidean geometry: the indexed
+    and brute-force detectors (both constructing their state from a
+    metric-carrying query) must emit identical transcripts."""
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-transcripts")
+    sensors = 4
+    adjacency = random_connected_adjacency(rng, sensors)
+    query = OutlierQuery(AverageKNNDistance(k=3, metric=metric), n=3)
+    fast_net, slow_net = _twin_global_networks(query, adjacency, seed=17)
+
+    datasets = {i: _cloud(rng, 6, origin=i) for i in range(sensors)}
+    for net in (fast_net, slow_net):
+        net.inject_local_data(datasets)
+        net.run_to_quiescence()
+
+    for round_index in range(3):
+        expired = [
+            p
+            for points in datasets.values()
+            for p in points
+            if p.epoch % 3 == round_index % 3
+        ]
+        evictions = {i: expired for i in range(sensors)}
+        fresh = {
+            i: _cloud(rng, 2, origin=i, start_epoch=300 + 10 * round_index)
+            for i in range(sensors)
+        }
+        for net in (fast_net, slow_net):
+            net.evict(evictions)
+            net.inject_local_data(fresh)
+            net.run_to_quiescence()
+
+    assert _transcript(fast_net) == _transcript(slow_net)
+    assert fast_net.estimates() == slow_net.estimates()
+    assert fast_net.estimates_agree() and slow_net.estimates_agree()
+
+    # Convergence to the omniscient answer holds under any metric
+    # (Theorem 1 never uses properties of the Euclidean distance).
+    final = {i: fast_net.detectors[i].local_data for i in range(sensors)}
+    reference = set(global_reference(query, final))
+    for estimate in fast_net.estimates().values():
+        assert estimate == reference
+
+
+def test_indexed_paths_reject_mismatched_metric():
+    """Querying an index built under one metric with a ranking configured
+    for another must fail loudly, not silently score in the wrong
+    geometry."""
+    rng = random.Random("metric-mismatch")
+    pts = _cloud(rng, 8)
+    euclidean_index = NeighborhoodIndex(pts)  # default metric
+    manhattan = metric_from_name("manhattan")
+    ranking = AverageKNNDistance(k=3, metric=manhattan)
+    with pytest.raises(RankingError):
+        ranking.score_indexed(euclidean_index, pts[0])
+    with pytest.raises(RankingError):
+        ranking.support_indexed(euclidean_index, pts[0])
+    with pytest.raises(RankingError):
+        ranking.bulk_scores_indexed(euclidean_index, pts)
+    # A matching index (separately constructed but same geometry) is fine.
+    manhattan_index = NeighborhoodIndex(pts, metric=metric_from_name("manhattan"))
+    assert (
+        ranking.score_indexed(manhattan_index, pts[0])
+        == ranking.score(pts[0], pts)
+    )
+
+
+@pytest.mark.parametrize(
+    "metric_name", [name for name in registered_metrics() if name != "euclidean"]
+)
+def test_centralized_aggregator_matches_oracle_under_metric(metric_name):
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-sink")
+    query = OutlierQuery(KthNearestNeighborDistance(k=2, metric=metric), n=3)
+    fast = CentralizedAggregator(query, indexed=True)
+    slow = CentralizedAggregator(query, indexed=False)
+    streams = {i: _cloud(rng, 18, origin=i) for i in range(3)}
+    for round_index in range(8):
+        for node in range(3):
+            window = streams[node][round_index: round_index + 6]
+            fast.update_window(node, window)
+            slow.update_window(node, window)
+        assert fast.compute_outliers() == slow.compute_outliers()
