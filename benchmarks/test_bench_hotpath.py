@@ -1,103 +1,94 @@
-"""Micro-benchmark of the detector hot path: incremental index vs rebuild.
+"""Micro-benchmark of the detector hot path: flat-array engine vs rebuild.
 
 Every sampling round a sensor processes one combined data-change event (one
 arrival plus one eviction at a steady window of ``n`` points) and rebuilds
 its estimate, support sets and per-neighbor sufficient sets.  The seed
 implementation recomputed all of that from scratch -- an ``O(n²·d)``
-pairwise-distance matrix per scoring call; the
+pairwise-distance matrix per scoring call; the flat-array
 :class:`~repro.core.index.NeighborhoodIndex` engine maintains the geometry
-incrementally in ``O(Δ·n)``.
+incrementally and the :class:`~repro.core.rescoring.ScoreCache` rescores
+only the dirty set on each event.
 
-This benchmark records the per-event latency of both paths at
-``n ∈ {64, 256, 1024}`` (so the speedup shows up in the ``BENCH_*.json``
-trajectories) and asserts the acceptance criterion: at the largest window
-the indexed engine must beat the full-recompute oracle by at least 5x.
+The measurement harness is shared with the ``repro-wsn bench`` CLI
+subcommand (:mod:`repro.bench`), which emits the machine-readable
+``BENCH_hotpath.json`` / ``BENCH_e2e.json`` artifacts CI thresholds; this
+pytest entry records the same sweep at ``n ∈ {64, 256, 1024}``, refreshes
+``results/hotpath.txt`` and asserts the acceptance criterion: at the
+largest window the incremental engine must beat the full-recompute oracle
+by at least 5x.
 
 A note on the baseline: the oracle here is the *current* brute-force path,
 whose distance matrix is computed pair-by-pair with ``math.dist`` so that
 every code path rounds identically (see ``_pairwise_distances``).  That is
 slower than the seed's vectorised-numpy matrix; against that original
-implementation (~87 ms/event at n=1024 on the same machine) the indexed
-engine still measured ~7-9x, so the 5x floor holds under either baseline.
+implementation (~87 ms/event at n=1024 on the reference machine) the
+flat-array engine with dirty-set rescoring still clears the floor with a
+wide margin.
 """
 
 from __future__ import annotations
 
-import random
-import time
+from pathlib import Path
 
-from conftest import RESULTS_DIR
-
-from repro.core import (
-    AverageKNNDistance,
-    GlobalOutlierDetector,
-    OutlierQuery,
-    make_point,
+from repro.bench import (
+    DEFAULT_WINDOWS,
+    measure_event_latency,
+    render_hotpath_table,
+    run_hotpath_bench,
 )
 
-WINDOW_SIZES = (64, 256, 1024)
-#: Measured events per configuration; the brute path at n=1024 runs ~90 ms
-#: per event, so the counts are kept asymmetric to bound suite runtime.
-EVENTS = {True: {64: 60, 256: 30, 1024: 15}, False: {64: 20, 256: 10, 1024: 4}}
+#: Computed directly (not via the benchmarks conftest) so this module also
+#: imports cleanly in mixed tests+benchmarks pytest invocations, where the
+#: top-level ``conftest`` name can resolve to either directory's conftest.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-
-def _steady_state_detector(n: int, indexed: bool, events: int):
-    """A detector holding ``n`` points plus the stream that keeps it there."""
-    rng = random.Random(1234)
-    query = OutlierQuery(AverageKNNDistance(k=4), n=4)
-    detector = GlobalOutlierDetector(0, query, neighbors=[1, 2], indexed=indexed)
-    stream = [
-        make_point(
-            [rng.gauss(20.0, 1.0), rng.uniform(0, 50), rng.uniform(0, 50)],
-            origin=0,
-            epoch=epoch,
-        )
-        for epoch in range(n + events)
-    ]
-    detector.add_local_points(stream[:n])
-    detector.initialize()
-    return detector, stream
-
-
-def _per_event_latency(n: int, indexed: bool) -> float:
-    events = EVENTS[indexed][n]
-    detector, stream = _steady_state_detector(n, indexed, events)
-    started = time.perf_counter()
-    for i in range(events):
-        detector.update_local_data([stream[n + i]], [stream[i]])
-    return (time.perf_counter() - started) / events
+WINDOW_SIZES = DEFAULT_WINDOWS
 
 
 def test_bench_hotpath(benchmark):
-    latencies = {}
-    for n in WINDOW_SIZES:
-        latencies[(n, False)] = _per_event_latency(n, indexed=False)
+    payload = {}
 
-    # The pytest-benchmark entry tracks the indexed path across the window
-    # sweep so regressions of the engine itself show up in BENCH trajectories.
-    def indexed_sweep():
-        for n in WINDOW_SIZES:
-            latencies[(n, True)] = _per_event_latency(n, indexed=True)
+    def full_sweep():
+        # One call measures both paths per window; the pytest-benchmark
+        # entry therefore tracks the whole sweep so regressions of either
+        # engine show up in BENCH trajectories.
+        payload.update(run_hotpath_bench(WINDOW_SIZES))
 
-    benchmark.pedantic(indexed_sweep, rounds=1, iterations=1)
+    benchmark.pedantic(full_sweep, rounds=1, iterations=1)
 
-    lines = ["Per-event detector latency (steady window, 1 add + 1 evict)", ""]
-    lines.append(f"{'window':>8} {'indexed ms':>12} {'rebuild ms':>12} {'speedup':>9}")
-    for n in WINDOW_SIZES:
-        fast = latencies[(n, True)] * 1e3
-        slow = latencies[(n, False)] * 1e3
-        lines.append(f"{n:>8} {fast:>12.3f} {slow:>12.3f} {slow / fast:>8.1f}x")
-    text = "\n".join(lines) + "\n"
+    text = render_hotpath_table(payload)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "hotpath.txt").write_text(text)
     print()
     print(text)
 
-    speedup_at_largest = latencies[(1024, False)] / latencies[(1024, True)]
+    rows = {row["window"]: row for row in payload["windows"]}
+    speedup_at_largest = rows[max(WINDOW_SIZES)]["speedup"]
     assert speedup_at_largest >= 5.0, (
         f"indexed engine is only {speedup_at_largest:.1f}x faster than the "
-        f"full-recompute path at window 1024 (acceptance floor is 5x)"
+        f"full-recompute path at window {max(WINDOW_SIZES)} "
+        f"(acceptance floor is 5x)"
     )
     # The index must also win at every measured window, not just the largest.
-    for n in WINDOW_SIZES:
-        assert latencies[(n, True)] < latencies[(n, False)]
+    for window in WINDOW_SIZES:
+        assert rows[window]["indexed_ms"] < rows[window]["rebuild_ms"]
+
+
+def test_bench_hotpath_harness_is_deterministic():
+    """The shared harness must measure the same protocol work every call:
+    two runs at the same window see identical streams and end in identical
+    detector state (the latency itself of course varies)."""
+    from repro.bench import steady_state_detector
+
+    states = []
+    for _ in range(2):
+        detector, stream = steady_state_detector(64, True, 3)
+        for i in range(3):
+            detector.update_local_data([stream[64 + i]], [stream[i]])
+        states.append((stream, detector.holdings, detector.estimate()))
+    (stream_a, holdings_a, estimate_a), (stream_b, holdings_b, estimate_b) = states
+    assert stream_a == stream_b
+    assert holdings_a == holdings_b
+    assert estimate_a == estimate_b
+    latency, events = measure_event_latency(64, True, events=3)
+    assert events == 3 and latency > 0

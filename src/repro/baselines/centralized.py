@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from ..core.index import NeighborhoodIndex
 from ..core.outliers import OutlierQuery
 from ..core.points import DataPoint
+from ..core.rescoring import ScoreCache
 
 __all__ = ["CentralizedAggregator"]
 
@@ -47,6 +48,14 @@ class CentralizedAggregator:
         self._multiplicity: Counter = Counter()
         self._index: Optional[NeighborhoodIndex] = (
             NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
+        )
+        # Dirty-set rescoring over the union: the per-round outlier
+        # publication becomes a tail read of the maintained (score, ≺) order
+        # instead of a full rescore of every reported window.
+        self._cache: Optional[ScoreCache] = (
+            ScoreCache.if_supported(self._index, query.ranking)
+            if self._index is not None
+            else None
         )
         self.updates_received = 0
 
@@ -103,6 +112,9 @@ class CentralizedAggregator:
 
     def compute_outliers(self) -> List[DataPoint]:
         """``O_n`` over the union of all reported windows (ordered)."""
+        cache = self._cache
+        if cache is not None and not cache.degraded:
+            return cache.top_n(self.query.n)
         return self.query.outliers(self.union(), index=self._index)
 
     def total_points(self) -> int:

@@ -1,0 +1,278 @@
+"""Machine-readable performance benchmarks (``repro-wsn bench``).
+
+Performance is a first-class, regression-guarded output of this
+reproduction: the per-event detector latency decides how large a
+window/network the experiments can simulate, so it is measured the same way
+figures are -- reproducibly, from a CLI entry point, with artifacts a CI
+job can diff and threshold.
+
+Two benchmarks ship:
+
+* **hotpath** -- per-event latency of the steady-state detector loop (one
+  arrival plus one eviction at a fixed window size), measured for the
+  incremental flat-array engine (``indexed=True``) and the full-recompute
+  oracle (``indexed=False``), at several window sizes.  Emitted as
+  ``BENCH_hotpath.json``.
+* **e2e** -- end-to-end wall-clock of complete simulated scenarios through
+  :func:`repro.wsn.runner.run_scenario` (the global and semi-global
+  detectors and the centralized baseline on the synthetic workload).
+  Emitted as ``BENCH_e2e.json``.
+
+Both artifacts carry a stable ``schema`` number and enough configuration to
+interpret a trajectory of them across commits.  The CLI's ``--check`` mode
+turns the hotpath result into a regression guard: it fails when the
+indexed-vs-rebuild speedup at ``--floor-window`` drops below ``--floor``.
+
+The module is import-light so ``repro-wsn bench`` stays snappy; the wsn
+stack is imported lazily inside :func:`run_e2e_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_WINDOWS",
+    "QUICK_WINDOWS",
+    "steady_state_detector",
+    "measure_event_latency",
+    "run_hotpath_bench",
+    "render_hotpath_table",
+    "run_e2e_bench",
+    "write_bench_artifacts",
+    "check_speedup_floor",
+]
+
+#: Bump when the artifact layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: Window sizes of the full hotpath sweep (matches ``results/hotpath.txt``).
+DEFAULT_WINDOWS: Tuple[int, ...] = (64, 256, 1024)
+
+#: Window sizes of the CI-friendly ``--quick`` sweep.  256 is included
+#: because the perf-smoke regression floor is evaluated there.
+QUICK_WINDOWS: Tuple[int, ...] = (64, 256)
+
+#: Measured events per (indexed, window).  The brute path at n=1024 runs
+#: ~100 ms per event, so the counts are asymmetric to bound runtime.
+_EVENTS = {
+    True: {64: 60, 256: 30, 1024: 15},
+    False: {64: 20, 256: 10, 1024: 4},
+}
+
+
+def _events_for(window: int, indexed: bool, events: Optional[int]) -> int:
+    if events is not None:
+        return max(1, events)
+    table = _EVENTS[indexed]
+    if window in table:
+        return table[window]
+    # Unlisted window sizes (tests use tiny ones): scale inversely, keeping
+    # at least a handful of events.
+    return max(4, min(60, 4096 // max(window, 1)))
+
+
+def steady_state_detector(window: int, indexed: bool, events: int):
+    """A detector holding ``window`` points plus the stream that keeps it
+    there: the shared harness of the hotpath benchmark and the pytest
+    micro-benchmark (``benchmarks/test_bench_hotpath.py``)."""
+    from .core import (
+        AverageKNNDistance,
+        GlobalOutlierDetector,
+        OutlierQuery,
+        make_point,
+    )
+
+    rng = random.Random(1234)
+    query = OutlierQuery(AverageKNNDistance(k=4), n=4)
+    detector = GlobalOutlierDetector(0, query, neighbors=[1, 2], indexed=indexed)
+    stream = [
+        make_point(
+            [rng.gauss(20.0, 1.0), rng.uniform(0, 50), rng.uniform(0, 50)],
+            origin=0,
+            epoch=epoch,
+        )
+        for epoch in range(window + events)
+    ]
+    detector.add_local_points(stream[:window])
+    detector.initialize()
+    return detector, stream
+
+
+def measure_event_latency(
+    window: int, indexed: bool, events: Optional[int] = None
+) -> Tuple[float, int]:
+    """Per-event latency in seconds of the steady-state loop, plus the
+    number of measured events.
+
+    The events are timed in a few equal chunks and the *fastest* chunk is
+    reported (the ``timeit`` convention): every steady-state event performs
+    the same protocol work, so slower chunks measure scheduler and
+    frequency-scaling interference, not the code under test.
+    """
+    count = _events_for(window, indexed, events)
+    detector, stream = steady_state_detector(window, indexed, count)
+    chunk = max(1, count // 4)
+    best = float("inf")
+    processed = 0
+    while processed < count:
+        size = min(chunk, count - processed)
+        started = time.perf_counter()
+        for i in range(processed, processed + size):
+            detector.update_local_data([stream[window + i]], [stream[i]])
+        best = min(best, (time.perf_counter() - started) / size)
+        processed += size
+    return best, count
+
+
+def run_hotpath_bench(
+    windows: Sequence[int] = DEFAULT_WINDOWS,
+    events: Optional[int] = None,
+    quick: bool = False,
+) -> Dict:
+    """Measure the hotpath sweep and return the ``BENCH_hotpath`` payload."""
+    rows: List[Dict] = []
+    for window in windows:
+        indexed_s, indexed_events = measure_event_latency(window, True, events)
+        rebuild_s, rebuild_events = measure_event_latency(window, False, events)
+        rows.append(
+            {
+                "window": int(window),
+                "indexed_ms": indexed_s * 1e3,
+                "rebuild_ms": rebuild_s * 1e3,
+                "speedup": rebuild_s / indexed_s,
+                "events_indexed": indexed_events,
+                "events_rebuild": rebuild_events,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "hotpath",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "windows": rows,
+    }
+
+
+def render_hotpath_table(payload: Dict) -> str:
+    """The human-readable table mirrored to ``results/hotpath.txt``."""
+    lines = [
+        "Per-event detector latency (steady window, 1 add + 1 evict)",
+        "",
+        f"{'window':>8} {'indexed ms':>12} {'rebuild ms':>12} {'speedup':>9}",
+    ]
+    for row in payload["windows"]:
+        lines.append(
+            f"{row['window']:>8} {row['indexed_ms']:>12.3f} "
+            f"{row['rebuild_ms']:>12.3f} {row['speedup']:>8.1f}x"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _e2e_scenarios(quick: bool):
+    """The end-to-end scenario grid: one representative of each algorithm."""
+    from .core.config import Algorithm, DetectionConfig
+    from .wsn.scenario import ScenarioConfig
+
+    nodes = 9 if quick else 16
+    rounds = 6 if quick else 15
+    window = 8 if quick else 10
+    grid = []
+    for algorithm, ranking, hop in (
+        (Algorithm.GLOBAL, "nn", 1),
+        (Algorithm.SEMI_GLOBAL, "knn", 2),
+        (Algorithm.CENTRALIZED, "nn", 1),
+    ):
+        detection = DetectionConfig(
+            algorithm=algorithm,
+            ranking=ranking,
+            n_outliers=4,
+            k=4,
+            window_length=window,
+            hop_diameter=hop,
+        )
+        grid.append(
+            ScenarioConfig(
+                detection=detection,
+                node_count=nodes,
+                rounds=rounds,
+                seed=0,
+            )
+        )
+    return grid
+
+
+def run_e2e_bench(quick: bool = False) -> Dict:
+    """Run the end-to-end scenarios and return the ``BENCH_e2e`` payload."""
+    from .wsn.runner import run_scenario
+
+    rows: List[Dict] = []
+    for scenario in _e2e_scenarios(quick):
+        started = time.perf_counter()
+        result = run_scenario(scenario)
+        wallclock = time.perf_counter() - started
+        rows.append(
+            {
+                "label": scenario.label(),
+                "algorithm": scenario.detection.algorithm,
+                "nodes": scenario.node_count,
+                "rounds": scenario.rounds,
+                "window": scenario.detection.window_length,
+                "wallclock_seconds": wallclock,
+                "accuracy_exact": result.summary().get("accuracy_exact", 0.0),
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "e2e",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "scenarios": rows,
+    }
+
+
+def write_bench_artifacts(
+    output_dir, hotpath: Optional[Dict] = None, e2e: Optional[Dict] = None
+) -> List[Path]:
+    """Write ``BENCH_hotpath.json`` / ``BENCH_e2e.json`` under
+    ``output_dir`` and return the written paths."""
+    root = Path(output_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, payload in (("BENCH_hotpath.json", hotpath), ("BENCH_e2e.json", e2e)):
+        if payload is None:
+            continue
+        path = root / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def check_speedup_floor(
+    hotpath: Dict, floor: float, floor_window: int
+) -> Tuple[bool, str]:
+    """Evaluate the regression guard: indexed/rebuild speedup at
+    ``floor_window`` must be at least ``floor``.
+
+    Returns ``(ok, message)``; a missing window is a failure (the guard must
+    never pass vacuously).
+    """
+    for row in hotpath["windows"]:
+        if row["window"] == floor_window:
+            speedup = row["speedup"]
+            ok = speedup >= floor
+            verdict = "ok" if ok else "REGRESSION"
+            return ok, (
+                f"perf guard {verdict}: speedup {speedup:.1f}x at window "
+                f"{floor_window} (floor {floor:.1f}x)"
+            )
+    return False, (
+        f"perf guard error: window {floor_window} not in the measured sweep "
+        f"{[row['window'] for row in hotpath['windows']]}"
+    )

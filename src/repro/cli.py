@@ -2,8 +2,9 @@
 
 ``repro-wsn`` exposes the things a user most often wants without writing
 code: running a single simulated scenario, regenerating one of the paper's
-figures, and driving a registered sweep family through the parallel
-orchestrator with a persistent result store.
+figures, driving a registered sweep family through the parallel
+orchestrator with a persistent result store, and measuring the detector
+hot path into machine-readable benchmark artifacts.
 
 Examples
 --------
@@ -30,6 +31,14 @@ results persisted (rerunning is free; an interrupted sweep resumes)::
     repro-wsn sweep --list
     repro-wsn sweep figure4 --workers 4 --store results/store --profile paper
     repro-wsn sweep metric-sensitivity --workers 4 --store results/store
+
+Measure the per-event detector hot path and the end-to-end scenario
+wall-clock, writing ``BENCH_hotpath.json`` / ``BENCH_e2e.json`` (the CI
+perf-smoke job runs the ``--quick --check`` form and fails on a speedup
+regression)::
+
+    repro-wsn bench
+    repro-wsn bench --quick --check --output-dir bench-artifacts
 """
 
 from __future__ import annotations
@@ -107,6 +116,60 @@ def build_parser() -> argparse.ArgumentParser:
         "number",
         choices=["4", "5", "6", "7", "8", "9", "accuracy", "example51", "imbalance"],
         help="figure number or named experiment",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance micro-benchmarks and emit BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-friendly sweep: windows 64/256 and a scaled-down "
+        "end-to-end grid (the window-256 regression floor still applies)",
+    )
+    bench.add_argument(
+        "--windows",
+        metavar="CSV",
+        default=None,
+        help="comma-separated window sizes (default: 64,256,1024; "
+        "64,256 with --quick)",
+    )
+    bench.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="measured events per window (default: per-window schedule)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        default="results",
+        help="directory for BENCH_hotpath.json / BENCH_e2e.json "
+        "(default: results)",
+    )
+    bench.add_argument(
+        "--skip-e2e",
+        action="store_true",
+        help="only measure the hotpath (skip the end-to-end scenarios)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when the indexed/rebuild speedup at "
+        "--floor-window is below --floor",
+    )
+    bench.add_argument(
+        "--floor",
+        type=float,
+        default=5.0,
+        help="minimum acceptable speedup for --check (default: 5.0)",
+    )
+    bench.add_argument(
+        "--floor-window",
+        type=int,
+        default=256,
+        help="window size the --check floor is evaluated at (default: 256)",
     )
 
     sweep = sub.add_parser(
@@ -235,6 +298,58 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    # Imported lazily so the other subcommands stay snappy.
+    from .bench import (
+        DEFAULT_WINDOWS,
+        QUICK_WINDOWS,
+        check_speedup_floor,
+        render_hotpath_table,
+        run_e2e_bench,
+        run_hotpath_bench,
+        write_bench_artifacts,
+    )
+
+    if args.windows:
+        try:
+            windows = tuple(
+                int(token) for token in args.windows.split(",") if token.strip()
+            )
+        except ValueError:
+            print(f"error: --windows must be a CSV of integers, got "
+                  f"{args.windows!r}", file=sys.stderr)
+            return 2
+        if not windows or any(w < 8 for w in windows):
+            print("error: --windows needs at least one size >= 8", file=sys.stderr)
+            return 2
+    else:
+        windows = QUICK_WINDOWS if args.quick else DEFAULT_WINDOWS
+
+    hotpath = run_hotpath_bench(windows, events=args.events, quick=args.quick)
+    print(render_hotpath_table(hotpath))
+    e2e = None
+    if not args.skip_e2e:
+        e2e = run_e2e_bench(quick=args.quick)
+        print("End-to-end scenario wall-clock")
+        print()
+        for row in e2e["scenarios"]:
+            print(
+                f"  {row['label']:40s} {row['wallclock_seconds']:8.2f} s  "
+                f"accuracy={row['accuracy_exact']:.3f}"
+            )
+        print()
+    written = write_bench_artifacts(args.output_dir, hotpath=hotpath, e2e=e2e)
+    for path in written:
+        print(f"wrote {path}")
+
+    if args.check:
+        ok, message = check_speedup_floor(hotpath, args.floor, args.floor_window)
+        print(message)
+        if not ok:
+            return 1
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     # Importing the experiments package registers every sweep family.
     from . import experiments
@@ -337,6 +452,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "sweep":
         return _command_sweep(args)
     return _command_figure(args)

@@ -61,6 +61,7 @@ from .metrics import (
     registered_metrics,
 )
 from .outliers import OutlierQuery, ranked_points, top_n_outliers
+from .rescoring import ScoreCache
 from .points import (
     DataPoint,
     distance,
@@ -141,6 +142,7 @@ __all__ = [
     # incremental hot-path engine
     "NeighborhoodIndex",
     "IndexSubset",
+    "ScoreCache",
     # support / sufficiency
     "support_set",
     "support_of_set",

@@ -29,6 +29,8 @@ from .interfaces import OutlierDetector
 from .messages import OutlierMessage
 from .outliers import OutlierQuery
 from .points import DataPoint
+from .ranking import UNRESOLVED_SUBSET
+from .rescoring import ScoreCache
 from .sufficient import compute_sufficient_set
 from .support import support_of_set
 
@@ -84,6 +86,16 @@ class GlobalOutlierDetector(OutlierDetector):
         # query's ranking function scores in.
         self._index = (
             NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
+        )
+        # Dirty-set rescoring over the whole index: P_i mirrors the index
+        # exactly, so the per-event estimate is a tail read of the cache's
+        # maintained (score, ≺) order instead of a full rescore.  Rankings
+        # without a frontier structure leave the cache unsupported and the
+        # legacy full path is used.
+        self._cache: Optional[ScoreCache] = (
+            ScoreCache.if_supported(self._index, query.ranking)
+            if self._index is not None
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -235,10 +247,23 @@ class GlobalOutlierDetector(OutlierDetector):
         # this event and reuse them for every neighbor.
         holdings = list(self._holdings)
         index = self._index
-        estimate = self.query.outliers(holdings, index=index)
-        estimate_support = support_of_set(
-            self.query.ranking, estimate, holdings, index=index
-        )
+        cache = self._cache
+        if cache is not None and not cache.degraded:
+            # P_i is exactly the index content, so the dirty-set cache's
+            # maintained order yields the estimate and ``subset=None`` (the
+            # full-index mask) is shared by the support and every neighbor's
+            # sufficient-set fixpoint -- no O(n) try_subset rebuilds.
+            estimate = cache.top_n(self.query.n)
+            holdings_subset = None
+            estimate_support = support_of_set(
+                self.query.ranking, estimate, holdings, index=index, subset=None
+            )
+        else:
+            estimate = self.query.outliers(holdings, index=index)
+            holdings_subset = UNRESOLVED_SUBSET
+            estimate_support = support_of_set(
+                self.query.ranking, estimate, holdings, index=index
+            )
         for neighbor in sorted(self._neighbors):
             shared = self._sent[neighbor] | self._received[neighbor]
             sufficient = compute_sufficient_set(
@@ -248,6 +273,7 @@ class GlobalOutlierDetector(OutlierDetector):
                 estimate=estimate,
                 estimate_support=estimate_support,
                 index=index,
+                holdings_subset=holdings_subset,
             )
             to_send = sufficient - shared
             if to_send:

@@ -8,58 +8,73 @@ points of some ``Q ⊆ P_i`` are closest to ``x``, and how many lie within a
 radius.  Recomputing that geometry from scratch costs ``O(n² · d)`` per
 event; this module maintains it *incrementally*.
 
-:class:`NeighborhoodIndex` keeps, for every indexed point, its full
-neighbor list sorted by ``(distance, ≺)`` -- the exact order the brute-force
-ranking paths use (the configured :class:`~repro.core.metrics.Metric`,
-Euclidean by default, for the distance; the fixed total order ``≺`` for
-ties), so indexed answers are *identical* to the reference computations
-under every registered metric, not approximations.  Updates only touch what
-changed:
+:class:`NeighborhoodIndex` is a **flat-array engine**: for every indexed
+point it keeps two parallel, contiguous buffers -- an ``array('d')`` of
+neighbor distances and an ``array('l')`` of the matching slot ids -- sorted
+by ``(distance, ≺)``, the exact order the brute-force ranking paths use (the
+configured :class:`~repro.core.metrics.Metric`, Euclidean by default, for
+the distance; the fixed total order ``≺`` for ties).  Indexed answers are
+therefore *identical* to the reference computations under every registered
+metric, not approximations, while the per-entry cost drops from a boxed
+``(float, key, slot)`` tuple (~100 bytes plus allocator churn on every
+insertion) to 16 bytes of raw C doubles/longs moved by ``memmove``:
 
-* :meth:`add` computes one distance row -- ``O(n · d)`` distance work, the
-  only Python-level arithmetic -- and insorts the new point into every
-  existing neighbor list.  Each insertion is an ``O(log n)`` bisect plus an
-  ``O(n)`` C-level ``memmove``, so an add is ``O(n²)`` pointer moves in the
-  worst case; the constants are tens of nanoseconds per element, which is
-  what makes this ~an order of magnitude cheaper per event than the
-  ``O(n² · d)`` matrix rebuild it replaces (the resident neighbor lists
-  likewise hold ``O(n²)`` entries per sensor -- budget accordingly for very
-  large windows);
-* :meth:`discard` walks the departing point's own neighbor list to locate
-  and delete its entry from every other list (no distance recomputation);
+* :meth:`add` computes one distance row with a single ``metric.rows`` kernel
+  call over the maintained *parallel value buffer* (no per-event walk of the
+  point→slot dict), sorts it once into the new point's own arrays, and
+  splices ``(distance, slot)`` into every existing pair of arrays by
+  distance-only bisection -- ``O(n · d)`` distance work plus ``O(n²)``
+  C-``memmove`` bytes in the worst case, with no Python object allocation
+  per entry;
+* :meth:`discard` walks the departing point's own distance array to locate
+  its entry in every counterpart array by bisection and deletes it (no
+  distance recomputation);
 * :meth:`replace` swaps a held point for a copy with a different ``hop``
   field in ``O(1)`` -- the semi-global detector's ``[·]^min`` merge changes
   hop counters but never geometry, so the index only relabels the slot.
 
-Queries never mutate the index.  Scoring a point against the *full* index is
-``O(k)`` (read the head of its sorted list); scoring against a *subset*
-``Q ⊆ P`` -- the shape of every sufficient-set fixpoint iteration -- walks
-the sorted list and filters by a precomputed membership mask
+Queries never mutate the index.  Scoring a point against the *full* index
+reads the head of its distance array in ``O(k)`` (``O(1)`` for the k-th
+distance); a radius count is one ``O(log n)`` bisection.  Scoring against a
+*subset* ``Q ⊆ P`` -- the shape of every sufficient-set fixpoint iteration
+-- walks the parallel arrays and filters by a precomputed membership mask
 (:class:`IndexSubset`), i.e. set algebra over cached ranks instead of
 re-sorting distances.
 
+Mutation *observers* (see :meth:`NeighborhoodIndex.attach`) receive each
+structural change together with the already-computed distance row, which is
+what lets the dirty-set rescoring engine
+(:class:`~repro.core.rescoring.ScoreCache`) decide in ``O(1)`` per neighbor
+whose k-neighbor frontier the change perturbed.
+
 Copies of the same observation (equal ``≺`` keys, e.g. hop variants) are
-excluded from each other's neighbor lists, mirroring the candidate-exclusion
-rule of the brute-force paths.
+excluded from each other's neighbor arrays, mirroring the
+candidate-exclusion rule of the brute-force paths.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from array import array
+from bisect import bisect_right
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .errors import RankingError
 from .metrics import EUCLIDEAN, Metric
 from .points import DataPoint, RestKey, sort_key
 
-__all__ = ["NeighborhoodIndex", "IndexSubset", "NeighborEntry"]
+__all__ = ["NeighborhoodIndex", "IndexSubset", "NeighborEntry", "SLOT_DTYPE"]
 
-#: One neighbor-list entry: ``(distance, ≺-key of the neighbor, slot)``.
-#: Lists sorted by this tuple are ordered exactly like the brute-force
-#: ``_sorted_by_distance`` (distance first, then the fixed total order; the
-#: slot only disambiguates hop variants, which share a ``≺`` key but are
-#: never both neighbors of any third point's *support* -- they are "the same
-#: point" under ``≺``).
+#: Numpy dtype matching the ``array('l')`` slot buffers (used to view them
+#: without copying, e.g. by the dirty-set rescoring engine).
+SLOT_DTYPE = np.dtype(f"i{array('l').itemsize}")
+
+#: One neighbor-list entry as exposed by :meth:`NeighborhoodIndex.entries`:
+#: ``(distance, ≺-key of the neighbor, slot)``.  Sequences of these are
+#: ordered exactly like the brute-force ``_sorted_by_distance`` (distance
+#: first, then the fixed total order; the slot only disambiguates hop
+#: variants, which share a ``≺`` key).
 NeighborEntry = Tuple[float, RestKey, int]
 
 
@@ -67,8 +82,9 @@ class IndexSubset:
     """Membership mask for scoring against a subset ``Q`` of an index.
 
     Built once per bulk operation via :meth:`NeighborhoodIndex.try_subset`
-    and shared by every per-point query so the ``O(|Q|)`` mask construction
-    is not repeated.
+    (or maintained incrementally by a
+    :class:`~repro.core.rescoring.ScoreCache`) and shared by every per-point
+    query so the ``O(|Q|)`` mask construction is not repeated.
     """
 
     __slots__ = ("mask", "size")
@@ -100,11 +116,16 @@ class NeighborhoodIndex:
         "_slot_of",
         "_points",
         "_keys",
-        "_lists",
+        "_dists",
+        "_nbrs",
         "_free",
         "_key_slots",
         "_dimension",
         "_metric",
+        "_occ_slots",
+        "_occ_values",
+        "_occ_pos",
+        "_observers",
     )
 
     def __init__(
@@ -112,7 +133,7 @@ class NeighborhoodIndex:
         points: Iterable[DataPoint] = (),
         metric: Optional[Metric] = None,
     ) -> None:
-        #: The metric space the neighbor lists are sorted in.  Must match
+        #: The metric space the neighbor arrays are sorted in.  Must match
         #: the metric of every ranking function queried against this index
         #: (the detectors construct both from the same configuration).
         self._metric = EUCLIDEAN if metric is None else metric
@@ -122,12 +143,23 @@ class NeighborhoodIndex:
         self._points: List[Optional[DataPoint]] = []
         #: slot -> cached ``sort_key`` (``None`` for free slots).
         self._keys: List[Optional[RestKey]] = []
-        #: slot -> neighbor list sorted by ``(distance, ≺, slot)``.
-        self._lists: List[Optional[List[NeighborEntry]]] = []
+        #: slot -> neighbor distances, sorted ascending (``None`` if free).
+        self._dists: List[Optional[array]] = []
+        #: slot -> neighbor slot ids, parallel to ``_dists``.
+        self._nbrs: List[Optional[array]] = []
         #: recycled slot numbers.
         self._free: List[int] = []
         #: ``≺`` key -> slots holding a copy of that observation.
         self._key_slots: Dict[RestKey, Set[int]] = {}
+        #: Compact parallel buffers over the *occupied* slots: ``add`` feeds
+        #: ``metric.rows`` straight from ``_occ_values`` instead of walking
+        #: the point->slot dict per event.  Maintained by O(1) swap-removal;
+        #: ``_occ_pos[slot]`` is the slot's position (-1 when free).
+        self._occ_slots: array = array("l")
+        self._occ_values: List[Tuple[float, ...]] = []
+        self._occ_pos: List[int] = []
+        #: Mutation observers (dirty-set rescoring caches).
+        self._observers: List = []
         self._dimension: Optional[int] = None
         for point in points:
             self.add(point)
@@ -152,16 +184,57 @@ class NeighborhoodIndex:
 
     @property
     def metric(self) -> Metric:
-        """The metric the cached neighbor lists are sorted under."""
+        """The metric the cached neighbor arrays are sorted under."""
         return self._metric
 
     def point_at(self, slot: int) -> DataPoint:
         """The point currently stored in ``slot`` (internal ids exposed by
-        :data:`NeighborEntry` tuples)."""
+        the parallel slot arrays)."""
         point = self._points[slot]
         if point is None:  # pragma: no cover - defensive
             raise RankingError(f"slot {slot} is free")
         return point
+
+    def key_at(self, slot: int) -> RestKey:
+        """The cached ``≺`` key of the point in ``slot``."""
+        key = self._keys[slot]
+        if key is None:  # pragma: no cover - defensive
+            raise RankingError(f"slot {slot} is free")
+        return key
+
+    def slot_for(self, point: DataPoint) -> int:
+        """The slot holding ``point`` (:class:`RankingError` if absent)."""
+        slot = self._slot_of.get(point)
+        if slot is None:
+            raise RankingError(f"{point!r} is not indexed")
+        return slot
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def attach(self, observer) -> None:
+        """Register a mutation observer.
+
+        Observers are duck-typed with three callbacks, each invoked *after*
+        the index structures are consistent:
+
+        * ``point_added(slot, point, nbr_slots, nbr_dists)`` -- the new
+          point's own parallel arrays (sorted, twins excluded);
+        * ``point_removed(slot, point, nbr_slots, nbr_dists)`` -- the
+          departed point's arrays, passed before they are freed;
+        * ``point_relabeled(slot, old, new)`` -- a hop-only replace.
+
+        The arrays are the live internals: observers must only read them and
+        must not retain them past the callback.
+        """
+        self._observers.append(observer)
+
+    def detach(self, observer) -> None:
+        """Unregister a mutation observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Mutations
@@ -169,11 +242,12 @@ class NeighborhoodIndex:
     def add(self, point: DataPoint) -> bool:
         """Index ``point``.  Returns ``False`` if it is already present.
 
-        Cost: ``O(n · d)`` distance computations plus one sorted insertion
-        per neighbor list.  The insertions are ``O(n²)`` pointer moves in
-        the worst case, but at C-``memmove`` constants -- the point is
-        replacing ``O(n² · d)`` Python/numpy *arithmetic* per event with a
-        single ``O(n · d)`` distance row.
+        Cost: one ``metric.rows`` kernel call over the parallel value buffer
+        (``O(n · d)`` distance work, the only Python-level arithmetic) plus
+        one distance-bisected splice per neighbor array.  The splices are
+        ``O(n²)`` *bytes* of C ``memmove`` in the worst case with zero
+        Python-object allocation -- the point is replacing ``O(n² · d)``
+        arithmetic per event with a single ``O(n · d)`` distance row.
         """
         if point in self._slot_of:
             return False
@@ -185,7 +259,7 @@ class NeighborhoodIndex:
                 f"points, got {point.dimension}-dimensional {point!r}"
             )
         key = sort_key(point)
-        same_key = self._key_slots.get(key, ())
+        same_key = self._key_slots.get(key)
 
         if self._free:
             slot = self._free.pop()
@@ -193,62 +267,132 @@ class NeighborhoodIndex:
             slot = len(self._points)
             self._points.append(None)
             self._keys.append(None)
-            self._lists.append(None)
+            self._dists.append(None)
+            self._nbrs.append(None)
+            self._occ_pos.append(-1)
 
-        # The whole distance row is computed with one ``rows`` kernel call:
-        # for the default Euclidean metric that is the same per-pair
-        # ``math.dist`` arithmetic as before, and for the vectorized metrics
-        # it amortises the numpy dispatch over the row.
-        own_list: List[NeighborEntry] = []
-        neighbor_slots: List[int] = []
-        neighbor_values: List[Tuple[float, ...]] = []
-        for other, other_slot in self._slot_of.items():
-            if other_slot in same_key:
-                continue  # hop variants of the same observation: not neighbors
-            neighbor_slots.append(other_slot)
-            neighbor_values.append(other.values)
-        if neighbor_slots:
-            row = self._metric.rows(point.values, neighbor_values)
+        occ_slots = self._occ_slots
+        own_dists = array("d")
+        own_nbrs = array("l")
+        if occ_slots:
+            # One kernel call for the whole distance row: for the default
+            # Euclidean metric that is the same per-pair ``math.dist``
+            # arithmetic as the oracle, and for the vectorized metrics it
+            # amortises the numpy dispatch over the row.
+            row = self._metric.rows(point.values, self._occ_values)
+            slot_row = np.frombuffer(occ_slots, dtype=SLOT_DTYPE)
+            if same_key:
+                keep = np.ones(len(row), dtype=bool)
+                for twin in same_key:
+                    keep &= slot_row != twin
+                row = row[keep]
+                slot_row = slot_row[keep]
+            # Distance-first order; ties (equal doubles) must then be
+            # re-ordered by ``(≺ key, slot)`` so the arrays match the
+            # brute-force ``(distance, ≺)`` order exactly -- ties are rare
+            # on continuous data, so the common case is a pure C argsort.
+            order = np.argsort(row, kind="stable")
+            sorted_dists = row[order]
+            sorted_slots = slot_row[order]
             keys = self._keys
-            lists = self._lists
-            for other_slot, raw in zip(neighbor_slots, row):
-                dist = float(raw)
-                own_list.append((dist, keys[other_slot], other_slot))
-                insort(lists[other_slot], (dist, key, slot))
-        own_list.sort()
-
+            if len(row) > 1 and bool((sorted_dists[1:] == sorted_dists[:-1]).any()):
+                pairs = sorted(zip(row.tolist(), slot_row.tolist()))
+                i, count = 0, len(pairs)
+                while i < count - 1:
+                    if pairs[i][0] == pairs[i + 1][0]:
+                        tied = pairs[i][0]
+                        j = i + 2
+                        while j < count and pairs[j][0] == tied:
+                            j += 1
+                        run = pairs[i:j]
+                        run.sort(key=lambda p: (keys[p[1]], p[1]))
+                        pairs[i:j] = run
+                        i = j
+                    else:
+                        i += 1
+                own_dists.extend(p[0] for p in pairs)
+                own_nbrs.extend(p[1] for p in pairs)
+            else:
+                own_dists.frombytes(sorted_dists.tobytes())
+                own_nbrs.frombytes(np.ascontiguousarray(sorted_slots).tobytes())
+            # Splice (distance, slot) into every neighbor's parallel arrays.
+            dists_tbl = self._dists
+            nbrs_tbl = self._nbrs
+            key_slot = (key, slot)
+            insert_at = bisect_right
+            for d, s in zip(own_dists, own_nbrs):
+                od = dists_tbl[s]
+                on = nbrs_tbl[s]
+                pos = insert_at(od, d)
+                if pos and od[pos - 1] == d:
+                    while (
+                        pos
+                        and od[pos - 1] == d
+                        and (keys[on[pos - 1]], on[pos - 1]) > key_slot
+                    ):
+                        pos -= 1
+                od.insert(pos, d)
+                on.insert(pos, slot)
+            # Release the no-copy view before the buffer is resized below.
+            del slot_row
         self._slot_of[point] = slot
         self._points[slot] = point
         self._keys[slot] = key
-        self._lists[slot] = own_list
+        self._dists[slot] = own_dists
+        self._nbrs[slot] = own_nbrs
+        self._occ_pos[slot] = len(occ_slots)
+        occ_slots.append(slot)
+        self._occ_values.append(point.values)
         self._key_slots.setdefault(key, set()).add(slot)
+        for observer in self._observers:
+            observer.point_added(slot, point, own_nbrs, own_dists)
         return True
 
     def discard(self, point: DataPoint) -> bool:
         """Remove ``point`` from the index.  Returns ``False`` if absent.
 
-        The departing point's own sorted list already records its distance to
+        The departing point's own arrays already record its distance to
         every other point, so no distance is recomputed: each entry is
-        located in the counterpart list by bisection and deleted.
+        located in the counterpart arrays by bisection and deleted.
         """
         slot = self._slot_of.pop(point, None)
         if slot is None:
             return False
         key = self._keys[slot]
-        own_entry_key = key
-        for dist, _other_key, other_slot in self._lists[slot]:
-            other_list = self._lists[other_slot]
-            # The counterpart entry is (dist, our key, our slot); bisect for
-            # the position just past it and step back.
-            position = bisect_right(other_list, (dist, own_entry_key, slot)) - 1
-            if position >= 0 and other_list[position][2] == slot:
-                del other_list[position]
-            else:  # pragma: no cover - defensive (index invariant violated)
-                other_list.remove((dist, own_entry_key, slot))
+        own_dists = self._dists[slot]
+        own_nbrs = self._nbrs[slot]
+        dists_tbl = self._dists
+        nbrs_tbl = self._nbrs
+        for d, other in zip(own_dists, own_nbrs):
+            od = dists_tbl[other]
+            on = nbrs_tbl[other]
+            # The counterpart entry has the same distance; bisect to the end
+            # of the equal-distance run and walk back to our slot id.
+            pos = bisect_right(od, d) - 1
+            while pos >= 0 and on[pos] != slot:
+                pos -= 1
+            if pos < 0:  # pragma: no cover - defensive (invariant violated)
+                raise RankingError(
+                    f"index invariant violated: slot {slot} missing from "
+                    f"the neighbor arrays of slot {other}"
+                )
+            del od[pos]
+            del on[pos]
+        for observer in self._observers:
+            observer.point_removed(slot, point, own_nbrs, own_dists)
         self._points[slot] = None
         self._keys[slot] = None
-        self._lists[slot] = None
+        self._dists[slot] = None
+        self._nbrs[slot] = None
         self._free.append(slot)
+        pos = self._occ_pos[slot]
+        last_slot = self._occ_slots.pop()
+        last_values = self._occ_values.pop()
+        if last_slot != slot:
+            self._occ_slots[pos] = last_slot
+            self._occ_values[pos] = last_values
+            self._occ_pos[last_slot] = pos
+        self._occ_pos[slot] = -1
         group = self._key_slots[key]
         group.discard(slot)
         if not group:
@@ -263,7 +407,7 @@ class NeighborhoodIndex:
         detector: ``[·]^min`` keeps the smallest-hop copy of each
         observation, which changes the stored :class:`DataPoint` but not the
         geometry, so the slot is relabelled in ``O(1)`` and every cached
-        distance and neighbor list stays valid.
+        distance and neighbor array stays valid.
         """
         if old == new:
             return old in self._slot_of
@@ -277,21 +421,47 @@ class NeighborhoodIndex:
             return False
         self._slot_of[new] = slot
         self._points[slot] = new
+        for observer in self._observers:
+            observer.point_relabeled(slot, old, new)
         return True
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def entries(self, point: DataPoint) -> Sequence[NeighborEntry]:
-        """``point``'s neighbor list, sorted by ``(distance, ≺)``.
+    def row_for(self, point: DataPoint) -> Tuple[Sequence[float], Sequence[int]]:
+        """``point``'s parallel neighbor arrays ``(distances, slots)``,
+        sorted by ``(distance, ≺)``.
 
-        The returned sequence is the live internal list: callers must treat
-        it as read-only and must not hold it across mutations.
+        These are the live internal buffers, exposed for the ranking
+        functions' indexed fast paths: callers must treat them as read-only
+        and must not hold them across mutations.  External callers should
+        prefer :meth:`entries`, which returns an immutable snapshot.
         """
         slot = self._slot_of.get(point)
         if slot is None:
             raise RankingError(f"{point!r} is not indexed")
-        return self._lists[slot]
+        return self._dists[slot], self._nbrs[slot]
+
+    def row_at(self, slot: int) -> Tuple[Sequence[float], Sequence[int]]:
+        """Slot-addressed variant of :meth:`row_for` (same read-only
+        contract)."""
+        dists = self._dists[slot]
+        if dists is None:  # pragma: no cover - defensive
+            raise RankingError(f"slot {slot} is free")
+        return dists, self._nbrs[slot]
+
+    def entries(self, point: DataPoint) -> Tuple[NeighborEntry, ...]:
+        """``point``'s neighbor list, sorted by ``(distance, ≺)``.
+
+        Returns an immutable snapshot (a fresh tuple of
+        :data:`NeighborEntry` triples) built from the internal flat arrays:
+        callers cannot corrupt the index through it, and it stays valid --
+        as a snapshot -- across later mutations.  Hot paths use the raw
+        parallel arrays via :meth:`row_for` instead.
+        """
+        dists, nbrs = self.row_for(point)
+        keys = self._keys
+        return tuple((d, keys[s], s) for d, s in zip(dists, nbrs))
 
     def covers(self, points: Iterable[DataPoint]) -> bool:
         """Whether every point is indexed."""

@@ -12,13 +12,16 @@ from typing import Iterable, List, Sequence, Set, Tuple
 
 from .errors import ConfigurationError
 from .points import DataPoint, sort_key
-from .ranking import RankingFunction
+from .ranking import RankingFunction, UNRESOLVED_SUBSET
 
 __all__ = ["top_n_outliers", "ranked_points", "OutlierQuery"]
 
 
 def ranked_points(
-    ranking: RankingFunction, D: Iterable[DataPoint], index=None
+    ranking: RankingFunction,
+    D: Iterable[DataPoint],
+    index=None,
+    subset=UNRESOLVED_SUBSET,
 ) -> List[Tuple[float, DataPoint]]:
     """Return ``(score, point)`` pairs for every point of ``D`` scored against
     ``D`` itself, sorted from most to least outlying (ties broken by ``≺``,
@@ -27,12 +30,18 @@ def ranked_points(
     When a :class:`~repro.core.index.NeighborhoodIndex` covering ``D`` is
     supplied, scores are read from its cached sorted-neighbor lists instead
     of rebuilding the pairwise-distance matrix; otherwise (or when some point
-    of ``D`` is not indexed) the brute-force oracle is used.
+    of ``D`` is not indexed) the brute-force oracle is used.  Callers that
+    already resolved ``D``'s membership mask pass it as ``subset`` (an
+    :class:`~repro.core.index.IndexSubset`, or ``None`` for the whole index)
+    to skip the ``O(|D|)`` ``try_subset`` rebuild.
     """
     points = list(D)
     scores = None
     if index is not None and points:
-        covered, subset = index.try_subset(points)
+        if subset is UNRESOLVED_SUBSET:
+            covered, subset = index.try_subset(points)
+        else:
+            covered = True
         if covered:
             scores = ranking.bulk_scores_indexed(index, points, subset)
     if scores is None:
@@ -48,17 +57,21 @@ def ranked_points(
 
 
 def top_n_outliers(
-    ranking: RankingFunction, D: Iterable[DataPoint], n: int, index=None
+    ranking: RankingFunction,
+    D: Iterable[DataPoint],
+    n: int,
+    index=None,
+    subset=UNRESOLVED_SUBSET,
 ) -> List[DataPoint]:
     """Return ``O_n(D)``: the top ``n`` outliers of ``D`` under ``ranking``.
 
     The result is ordered from most to least outlying.  If ``D`` has fewer
     than ``n`` points, all of them are returned (still ordered).  ``index``
-    is forwarded to :func:`ranked_points`.
+    and ``subset`` are forwarded to :func:`ranked_points`.
     """
     if n < 0:
         raise ConfigurationError(f"n must be non-negative, got {n}")
-    scored = ranked_points(ranking, D, index=index)
+    scored = ranked_points(ranking, D, index=index, subset=subset)
     return [p for _, p in scored[:n]] if n else []
 
 
@@ -75,9 +88,11 @@ class OutlierQuery:
         self.ranking = ranking
         self.n = int(n)
 
-    def outliers(self, D: Iterable[DataPoint], index=None) -> List[DataPoint]:
+    def outliers(
+        self, D: Iterable[DataPoint], index=None, subset=UNRESOLVED_SUBSET
+    ) -> List[DataPoint]:
         """``O_n(D)`` as an ordered list (most outlying first)."""
-        return top_n_outliers(self.ranking, D, self.n, index=index)
+        return top_n_outliers(self.ranking, D, self.n, index=index, subset=subset)
 
     def outlier_set(self, D: Iterable[DataPoint], index=None) -> Set[DataPoint]:
         """``O_n(D)`` as a set (order-free comparisons)."""

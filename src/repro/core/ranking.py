@@ -56,6 +56,7 @@ __all__ = [
     "NeighborCountWithinRadius",
     "DEFICIT_UNIT",
     "INFINITE_SCORE",
+    "UNRESOLVED_SUBSET",
     "rank_key",
     "ranking_from_name",
 ]
@@ -94,23 +95,32 @@ def _sorted_by_distance(
     return sorted(candidates, key=lambda q: (dist(xv, q.values), sort_key(q)))
 
 
+#: Sentinel for "no precomputed subset": callers that already resolved a
+#: membership mask for the dataset they score against (the detectors cache
+#: one per event, see :class:`~repro.core.index.IndexSubset`) pass it to the
+#: query layers to skip the ``O(|P|)`` ``try_subset`` rebuild; everyone else
+#: leaves the default and the mask is resolved on the spot.
+UNRESOLVED_SUBSET = object()
+
+
 def _nearest_indexed(index, x: DataPoint, k: int, subset) -> list:
-    """First ``k`` entries of ``x``'s cached neighbor list, as
+    """First ``k`` neighbors of ``x`` from its cached parallel arrays, as
     ``(distance, slot)`` pairs, restricted to ``subset`` when given.
 
-    The cached list is already sorted by ``(distance, ≺)``, so the full-index
-    case is a slice and the subset case a short masked walk -- no distance is
-    recomputed and the order matches the brute-force ``_sorted_by_distance``
-    exactly.
+    The arrays are already sorted by ``(distance, ≺)``, so the full-index
+    case is a head read and the subset case a short masked walk -- no
+    distance is recomputed and the order matches the brute-force
+    ``_sorted_by_distance`` exactly.
     """
-    entries = index.entries(x)
+    dists, slots = index.row_for(x)
     if subset is None:
-        return [(dist, slot) for dist, _, slot in entries[:k]]
+        count = min(k, len(dists))
+        return [(dists[i], slots[i]) for i in range(count)]
     mask = subset.mask
     nearest = []
-    for dist, _, slot in entries:
+    for i, slot in enumerate(slots):
         if mask[slot]:
-            nearest.append((dist, slot))
+            nearest.append((dists[i], slot))
             if len(nearest) == k:
                 break
     return nearest
@@ -118,13 +128,14 @@ def _nearest_indexed(index, x: DataPoint, k: int, subset) -> list:
 
 def _within_indexed(index, x: DataPoint, alpha: float, subset) -> list:
     """Slots of ``x``'s neighbors at distance ``<= alpha`` (members of
-    ``subset`` when given), via bisection on the cached sorted list."""
-    entries = index.entries(x)
-    cut = bisect.bisect_right(entries, alpha, key=lambda e: e[0])
+    ``subset`` when given), via one ``O(log n)`` bisection on the cached
+    distance array."""
+    dists, slots = index.row_for(x)
+    cut = bisect.bisect_right(dists, alpha)
     if subset is None:
-        return [slot for _, _, slot in entries[:cut]]
+        return list(slots[:cut])
     mask = subset.mask
-    return [slot for _, _, slot in entries[:cut] if mask[slot]]
+    return [slot for slot in slots[:cut] if mask[slot]]
 
 
 class RankingFunction(ABC):
@@ -177,6 +188,21 @@ class RankingFunction(ABC):
         ``R(x, P) == R(x, Q1)``; minimality is with respect to cardinality and
         then the lexicographic extension of ``≺``.
         """
+
+    def frontier_spec(self) -> Optional[Tuple[str, float]]:
+        """Describe which neighbors can perturb ``R(x, Q)`` -- the hook the
+        dirty-set rescoring engine (:class:`~repro.core.rescoring.ScoreCache`)
+        uses to decide whose cached score a data change invalidates.
+
+        Returns ``("knn", k)`` when the score depends only on the ``k``
+        nearest neighbors (so a change at distance beyond the current k-th
+        neighbor distance leaves it untouched), ``("radius", alpha)`` when it
+        depends only on neighbors within a fixed radius, and ``None`` when
+        the structure is unknown -- user-defined ranking functions default to
+        ``None`` and the detectors fall back to full rescoring, which is
+        always correct.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Index-aware fast paths
@@ -323,10 +349,10 @@ class KthNearestNeighborDistance(RankingFunction):
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
         self._check_index_metric(index)
         if subset is None:
-            entries = index.entries(x)
-            if len(entries) < self.k:
-                return (self.k - len(entries)) * DEFICIT_UNIT
-            return entries[self.k - 1][0]
+            dists, _ = index.row_for(x)
+            if len(dists) < self.k:
+                return (self.k - len(dists)) * DEFICIT_UNIT
+            return dists[self.k - 1]
         distances = _nearest_indexed(index, x, self.k, subset)
         if len(distances) < self.k:
             return (self.k - len(distances)) * DEFICIT_UNIT
@@ -338,11 +364,11 @@ class KthNearestNeighborDistance(RankingFunction):
         self._check_index_metric(index)
         if subset is not None:
             return [self.score_indexed(index, p, subset) for p in points]
-        k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
+        k, row_for, deficit = self.k, index.row_for, DEFICIT_UNIT
         return [
-            entries[k - 1][0]
-            if len(entries := entries_of(p)) >= k
-            else (k - len(entries)) * deficit
+            dists[k - 1]
+            if len(dists := row_for(p)[0]) >= k
+            else (k - len(dists)) * deficit
             for p in points
         ]
 
@@ -350,6 +376,9 @@ class KthNearestNeighborDistance(RankingFunction):
         self._check_index_metric(index)
         nearest = _nearest_indexed(index, x, self.k, subset)
         return frozenset(index.point_at(slot) for _, slot in nearest)
+
+    def frontier_spec(self) -> Tuple[str, float]:
+        return ("knn", self.k)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KthNearestNeighborDistance(k={self.k})"
@@ -411,12 +440,12 @@ class AverageKNNDistance(RankingFunction):
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
         self._check_index_metric(index)
         if subset is None:
-            entries = index.entries(x)
-            if len(entries) < self.k:
-                return (self.k - len(entries)) * DEFICIT_UNIT
-            # Ascending left-to-right sum, matching the scalar oracle
-            # bit-for-bit.
-            return sum(e[0] for e in entries[: self.k]) / self.k
+            dists, _ = index.row_for(x)
+            if len(dists) < self.k:
+                return (self.k - len(dists)) * DEFICIT_UNIT
+            # Ascending left-to-right sum over the head of the distance
+            # array, matching the scalar oracle bit-for-bit.
+            return sum(dists[: self.k]) / self.k
         nearest = _nearest_indexed(index, x, self.k, subset)
         if len(nearest) < self.k:
             return (self.k - len(nearest)) * DEFICIT_UNIT
@@ -428,11 +457,11 @@ class AverageKNNDistance(RankingFunction):
         self._check_index_metric(index)
         if subset is not None:
             return [self.score_indexed(index, p, subset) for p in points]
-        k, entries_of, deficit = self.k, index.entries, DEFICIT_UNIT
+        k, row_for, deficit = self.k, index.row_for, DEFICIT_UNIT
         return [
-            sum(e[0] for e in entries[:k]) / k
-            if len(entries := entries_of(p)) >= k
-            else (k - len(entries)) * deficit
+            sum(dists[:k]) / k
+            if len(dists := row_for(p)[0]) >= k
+            else (k - len(dists)) * deficit
             for p in points
         ]
 
@@ -440,6 +469,9 @@ class AverageKNNDistance(RankingFunction):
         self._check_index_metric(index)
         nearest = _nearest_indexed(index, x, self.k, subset)
         return frozenset(index.point_at(slot) for _, slot in nearest)
+
+    def frontier_spec(self) -> Tuple[str, float]:
+        return ("knn", self.k)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AverageKNNDistance(k={self.k})"
@@ -485,6 +517,9 @@ class NeighborCountWithinRadius(RankingFunction):
 
     def score_indexed(self, index, x: DataPoint, subset=None) -> float:
         self._check_index_metric(index)
+        if subset is None:
+            dists, _ = index.row_for(x)
+            return 1.0 / (1.0 + bisect.bisect_right(dists, self.alpha))
         return 1.0 / (1.0 + len(_within_indexed(index, x, self.alpha, subset)))
 
     def support_indexed(self, index, x: DataPoint, subset=None) -> FrozenSet[DataPoint]:
@@ -493,6 +528,9 @@ class NeighborCountWithinRadius(RankingFunction):
             index.point_at(slot)
             for slot in _within_indexed(index, x, self.alpha, subset)
         )
+
+    def frontier_spec(self) -> Tuple[str, float]:
+        return ("radius", self.alpha)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NeighborCountWithinRadius(alpha={self.alpha!r})"

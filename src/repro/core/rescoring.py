@@ -1,0 +1,339 @@
+"""Dirty-set rescoring: maintain ``O_n(Q)`` under churn without rescoring Q.
+
+Every protocol event re-ranks the sensor's holdings to produce the estimate
+``O_n(P_i)``, but a single data change only perturbs the scores of points
+whose *k-neighbor frontier* it enters: for the k-NN ranking family, adding
+``z`` changes ``R(x, ·)`` only when ``dist(x, z)`` is at most ``x``'s
+current k-th-neighbor distance (``x``'s frontier radius ``τ_x``), and for
+the count-within-radius family only when ``dist(x, z) <= α``.  Everyone
+else's score -- and hence their position in the ranking -- is untouched.
+
+:class:`ScoreCache` exploits this.  It registers as a mutation observer on a
+:class:`~repro.core.index.NeighborhoodIndex` and, for every structural
+change, consumes the distance row the index already computed: an ``O(1)``
+``dist <= τ`` comparison per neighbor marks the *dirty set*, and the next
+ranking query rescores only those points (each an ``O(k)`` head read of the
+flat arrays) and repairs a persistently sorted ``(score, ≺)`` order by
+bisection.  The top-n estimate becomes an ``O(n_outliers)`` tail read
+instead of an ``O(n·k)`` full rescore plus ``O(n log n)`` sort per event.
+
+Exactness is preserved by construction -- a clean point's score is the very
+float the last rescore produced, and rescoring goes through the same
+``score_indexed`` walks the non-cached path uses -- with one exception the
+cache detects itself: when two *hop variants* of the same observation are
+simultaneously members, full ties ``(score, ≺)`` are broken by internal
+slot order, which may differ from the set-iteration order of the oracle
+path.  The cache then reports itself :attr:`~ScoreCache.degraded` and the
+detectors fall back to the legacy full computation until the twin leaves
+(the distributed protocols never hold two hop variants at once, so in
+practice this never triggers).
+
+A cache can cover the whole index (the global detector's estimate) or the
+sub-population with ``hop <= max_hop`` (one per hop level of the
+semi-global detector); in the latter case it also maintains the level's
+:class:`~repro.core.index.IndexSubset` membership mask incrementally, so
+the per-event sufficient-set fixpoints reuse it instead of rebuilding it
+via ``try_subset``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from math import inf
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .index import SLOT_DTYPE, IndexSubset, NeighborhoodIndex
+from .points import DataPoint, RestKey
+from .ranking import RankingFunction
+
+__all__ = ["ScoreCache"]
+
+
+class ScoreCache:
+    """Incrementally maintained ``(score, ≺)`` ranking over an index.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.core.index.NeighborhoodIndex` to observe.  The
+        cache attaches itself as a mutation observer when supported.
+    ranking:
+        The ranking function scores are maintained under.  Must score in the
+        index's metric and expose a
+        :meth:`~repro.core.ranking.RankingFunction.frontier_spec`; rankings
+        without one (``None``) leave the cache :attr:`unsupported
+        <supported>` and callers use the legacy full path.
+    max_hop:
+        ``None`` covers the entire index; an integer restricts membership to
+        points with ``hop <= max_hop`` (a semi-global hop level).
+    """
+
+    __slots__ = (
+        "_index",
+        "_ranking",
+        "_max_hop",
+        "_kind",
+        "_param",
+        "_order",
+        "_score",
+        "_tau",
+        "_dirty",
+        "_mask",
+        "_members",
+        "_key_count",
+        "_twins",
+        "supported",
+    )
+
+    def __init__(
+        self,
+        index: NeighborhoodIndex,
+        ranking: RankingFunction,
+        max_hop: Optional[int] = None,
+    ) -> None:
+        self._index = index
+        self._ranking = ranking
+        self._max_hop = max_hop
+        spec = ranking.frontier_spec()
+        self.supported = spec is not None and ranking.metric.compatible_with(
+            index.metric
+        )
+        self._kind, self._param = spec if spec is not None else ("knn", 1)
+        #: Scored members as ``(score, ≺-key, slot)``, sorted ascending --
+        #: the exact (reversed) order of the oracle's ranked triples.
+        self._order: List[Tuple[float, RestKey, int]] = []
+        #: slot -> cached score (exactly the scored, i.e. clean, members).
+        self._score: Dict[int, float] = {}
+        #: slot -> frontier radius τ (k-th member distance, or α), as a flat
+        #: float buffer so one vectorized compare marks a whole distance row.
+        #: ``-inf`` encodes "not a scored member" (distances are
+        #: non-negative, so such slots can never be marked through it);
+        #: ``+inf`` is a scored member with a neighbor deficit (any change
+        #: perturbs it).
+        self._tau = np.full(16, -inf)
+        #: members whose score must be recomputed before the next query.
+        self._dirty: Set[int] = set()
+        #: membership mask (level caches only; ``None`` = whole index).
+        self._mask: Optional[bytearray] = None if max_hop is None else bytearray()
+        self._members = 0
+        #: ``≺`` key -> member multiplicity, to detect hop-variant twins.
+        self._key_count: Dict[RestKey, int] = {}
+        self._twins = 0
+        if not self.supported:
+            # Fully initialized but inert: queries answer over an empty
+            # membership and ``degraded`` stays True, so a caller that skips
+            # the :meth:`if_supported` factory still gets defined behavior.
+            return
+        for point in index.points():
+            slot = index.slot_for(point)
+            self._ensure_capacity(slot)
+            if self._is_member(point):
+                self._join(slot, point)
+        index.attach(self)
+
+    @classmethod
+    def if_supported(
+        cls,
+        index: NeighborhoodIndex,
+        ranking: RankingFunction,
+        max_hop: Optional[int] = None,
+    ) -> Optional["ScoreCache"]:
+        """Build a cache, or return ``None`` when the ranking exposes no
+        frontier structure (the detectors then keep the legacy full path)."""
+        cache = cls(index, ranking, max_hop=max_hop)
+        return cache if cache.supported else None
+
+    # ------------------------------------------------------------------
+    # State predicates
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while the maintained order cannot be trusted: the ranking is
+        structure-free, or two hop variants of one observation are members
+        (full-tie order would depend on internal slot numbering)."""
+        return not self.supported or self._twins > 0
+
+    def __len__(self) -> int:
+        return self._members
+
+    def _is_member(self, point: DataPoint) -> bool:
+        return self._max_hop is None or point.hop <= self._max_hop
+
+    # ------------------------------------------------------------------
+    # Membership bookkeeping
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, slot: int) -> None:
+        if slot >= len(self._tau):
+            grown = np.full(max(slot + 1, 2 * len(self._tau)), -inf)
+            grown[: len(self._tau)] = self._tau
+            self._tau = grown
+        mask = self._mask
+        if mask is not None and slot >= len(mask):
+            mask.extend(b"\x00" * (slot + 1 - len(mask)))
+
+    def _join(self, slot: int, point: DataPoint) -> None:
+        self._ensure_capacity(slot)
+        if self._mask is not None:
+            self._mask[slot] = 1
+        self._members += 1
+        key = self._index.key_at(slot)
+        count = self._key_count.get(key, 0) + 1
+        self._key_count[key] = count
+        if count == 2:
+            self._twins += 1
+        self._dirty.add(slot)
+
+    def _leave(self, slot: int) -> None:
+        if self._mask is not None:
+            self._mask[slot] = 0
+        self._members -= 1
+        key = self._index.key_at(slot)
+        count = self._key_count[key] - 1
+        if count:
+            self._key_count[key] = count
+            if count == 1:
+                self._twins -= 1
+        else:
+            del self._key_count[key]
+        self._dirty.discard(slot)
+        self._tau[slot] = -inf
+        score = self._score.pop(slot, None)
+        if score is not None:
+            self._order_remove(score, key, slot)
+
+    def _order_remove(self, score: float, key: RestKey, slot: int) -> None:
+        entry = (score, key, slot)
+        order = self._order
+        position = bisect_left(order, entry)
+        if position < len(order) and order[position] == entry:
+            del order[position]
+        else:  # pragma: no cover - defensive (cache invariant violated)
+            order.remove(entry)
+
+    def _mark_row_dirty(self, nbr_slots, nbr_dists) -> None:
+        """Mark every member whose frontier the changed point perturbs.
+
+        One vectorized compare of the distance row against the τ buffer:
+        slots whose τ is ``-inf`` (non-members and unscored-hence-already-
+        dirty members) can never satisfy ``d <= τ``, so no membership test
+        is needed.
+        """
+        if not nbr_dists:
+            return
+        dists = np.frombuffer(nbr_dists)
+        slots = np.frombuffer(nbr_slots, dtype=SLOT_DTYPE)
+        hits = slots[dists <= self._tau[slots]]
+        if hits.size:
+            self._dirty.update(hits.tolist())
+
+    # ------------------------------------------------------------------
+    # NeighborhoodIndex observer callbacks
+    # ------------------------------------------------------------------
+    def point_added(self, slot, point, nbr_slots, nbr_dists) -> None:
+        self._ensure_capacity(slot)
+        if not self._is_member(point):
+            return
+        self._join(slot, point)
+        self._mark_row_dirty(nbr_slots, nbr_dists)
+
+    def point_removed(self, slot, point, nbr_slots, nbr_dists) -> None:
+        if not self._is_member(point):
+            return
+        self._leave(slot)
+        self._mark_row_dirty(nbr_slots, nbr_dists)
+
+    def point_relabeled(self, slot, old, new) -> None:
+        # A hop-only relabel never moves distances, so a whole-index cache
+        # is untouched; a level cache changes only when the relabel crosses
+        # its hop boundary.  The index computes no distance row for a
+        # relabel, so a boundary crossing conservatively rescores the whole
+        # level -- ``[·]^min`` promotions are rare relative to data events.
+        if self._max_hop is None:
+            return
+        was = old.hop <= self._max_hop
+        now = new.hop <= self._max_hop
+        if was == now:
+            return
+        if now:
+            self._join(slot, new)
+        else:
+            self._leave(slot)
+        self._dirty.update(entry[2] for entry in self._order)
+
+    # ------------------------------------------------------------------
+    # Rescoring
+    # ------------------------------------------------------------------
+    def subset(self) -> Optional[IndexSubset]:
+        """The membership mask as an :class:`IndexSubset` (``None`` for a
+        whole-index cache, matching ``try_subset``'s full-index contract).
+
+        The mask is the live internal buffer: callers use it for the current
+        event's queries and must not hold it across mutations.
+        """
+        if self._mask is None:
+            return None
+        return IndexSubset(self._mask, self._members)
+
+    def member_points(self) -> List[DataPoint]:
+        """The current members (unspecified order, like set iteration)."""
+        if not self.supported:
+            return []
+        index = self._index
+        if self._mask is None:
+            return list(index.points())
+        mask = self._mask
+        return [index.point_at(s) for s in range(len(mask)) if mask[s]]
+
+    def _frontier_radius(self, slot: int, subset) -> float:
+        if self._kind == "radius":
+            return self._param
+        k = self._param
+        dists, slots = self._index.row_at(slot)
+        if subset is None:
+            return dists[k - 1] if len(dists) >= k else inf
+        mask = subset.mask
+        found = 0
+        for i, s in enumerate(slots):
+            if mask[s]:
+                found += 1
+                if found == k:
+                    return dists[i]
+        return inf
+
+    def _rescore_dirty(self) -> None:
+        dirty = self._dirty
+        if not dirty:
+            return
+        index = self._index
+        ranking = self._ranking
+        subset = self.subset()
+        order = self._order
+        score_of = self._score
+        tau_of = self._tau
+        for slot in dirty:
+            key = index.key_at(slot)
+            previous = score_of.get(slot)
+            if previous is not None:
+                self._order_remove(previous, key, slot)
+            score = ranking.score_indexed(index, index.point_at(slot), subset)
+            score_of[slot] = score
+            tau_of[slot] = self._frontier_radius(slot, subset)
+            insort(order, (score, key, slot))
+        dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_n(self, n: int) -> List[DataPoint]:
+        """``O_n(members)``, ordered most to least outlying -- identical to
+        ``top_n_outliers(ranking, members, n, index=index)`` whenever the
+        cache is not :attr:`degraded`."""
+        self._rescore_dirty()
+        if n <= 0:
+            return []
+        point_at = self._index.point_at
+        order = self._order
+        tail = order[-n:] if n < len(order) else order
+        return [point_at(entry[2]) for entry in reversed(tail)]

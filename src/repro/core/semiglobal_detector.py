@@ -39,6 +39,8 @@ from .interfaces import OutlierDetector
 from .messages import OutlierMessage
 from .outliers import OutlierQuery
 from .points import DataPoint, RestKey
+from .ranking import UNRESOLVED_SUBSET
+from .rescoring import ScoreCache
 from .sufficient import compute_sufficient_set
 from .support import support_of_set
 
@@ -121,6 +123,19 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         self._index = (
             NeighborhoodIndex(metric=query.ranking.metric) if indexed else None
         )
+        # One dirty-set rescoring cache per hop level: level ``h`` maintains
+        # the (score, ≺) order over the sub-population with ``hop <= h``
+        # together with its membership mask, so each per-level estimate of
+        # Algorithm 2 is a tail read and the sufficient-set fixpoints reuse
+        # the mask instead of rebuilding it per neighbor via try_subset.
+        self._caches: Optional[List[ScoreCache]] = None
+        if self._index is not None:
+            caches = [
+                ScoreCache.if_supported(self._index, query.ranking, max_hop=level)
+                for level in range(self.hop_diameter)
+            ]
+            if None not in caches:
+                self._caches = caches
 
     # ------------------------------------------------------------------
     # Index maintenance (min-hop-merge aware)
@@ -349,22 +364,52 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         return OutlierMessage(sender=self.sensor_id, payloads=payloads)
 
     def _level_estimates(self) -> List[tuple]:
-        """Per hop level: ``(holdings, estimate, estimate_support)``.
+        """Per hop level: ``(holdings, estimate, estimate_support, subset)``.
 
         These depend only on ``P_i``, so they are computed once per event and
-        reused for every neighbor.
+        reused for every neighbor; ``subset`` is the level's resolved
+        membership mask (also per event -- the per-neighbor sufficient-set
+        fixpoints share it instead of rebuilding it via ``try_subset``).
         """
         data = []
+        ranking = self.query.ranking
+        index = self._index
         for level in range(self.hop_diameter):
+            cache = self._caches[level] if self._caches is not None else None
+            if cache is not None and not cache.degraded:
+                level_holdings = cache.member_points()
+                if not level_holdings:
+                    data.append((level_holdings, [], set(), UNRESOLVED_SUBSET))
+                    continue
+                subset = cache.subset()
+                estimate = cache.top_n(self.query.n)
+                estimate_support = support_of_set(
+                    ranking, estimate, level_holdings, index=index, subset=subset
+                )
+                data.append((level_holdings, estimate, estimate_support, subset))
+                continue
             level_holdings = [p for p in self._holdings.values() if p.hop <= level]
             if not level_holdings:
-                data.append((level_holdings, [], set()))
+                data.append((level_holdings, [], set(), UNRESOLVED_SUBSET))
                 continue
-            estimate = self.query.outliers(level_holdings, index=self._index)
-            estimate_support = support_of_set(
-                self.query.ranking, estimate, level_holdings, index=self._index
-            )
-            data.append((level_holdings, estimate, estimate_support))
+            subset = UNRESOLVED_SUBSET
+            if index is not None:
+                covered, mask = index.try_subset(level_holdings)
+                if covered:
+                    subset = mask
+            if subset is UNRESOLVED_SUBSET:
+                estimate = self.query.outliers(level_holdings, index=index)
+                estimate_support = support_of_set(
+                    ranking, estimate, level_holdings, index=index
+                )
+            else:
+                estimate = self.query.outliers(
+                    level_holdings, index=index, subset=subset
+                )
+                estimate_support = support_of_set(
+                    ranking, estimate, level_holdings, index=index, subset=subset
+                )
+            data.append((level_holdings, estimate, estimate_support, subset))
         return data
 
     def _sufficient_for_neighbor(
@@ -376,7 +421,7 @@ class SemiGlobalOutlierDetector(OutlierDetector):
 
         all_shared = list(sent_bucket.values()) + list(recv_bucket.values())
         for level in range(self.hop_diameter):
-            level_holdings, estimate, estimate_support = level_data[level]
+            level_holdings, estimate, estimate_support, subset = level_data[level]
             if not level_holdings:
                 continue
             if self.variant == "paper":
@@ -391,6 +436,7 @@ class SemiGlobalOutlierDetector(OutlierDetector):
                 estimate=estimate,
                 estimate_support=estimate_support,
                 index=self._index,
+                holdings_subset=subset,
             )
             for point in sufficient:
                 forwarded = point.incremented()

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Set
 
 from .outliers import OutlierQuery
+from .ranking import UNRESOLVED_SUBSET
 from .support import support_of_set
 
 __all__ = ["compute_sufficient_set", "satisfies_sufficiency"]
@@ -37,6 +38,7 @@ def compute_sufficient_set(
     estimate: Iterable = None,
     estimate_support: Iterable = None,
     index=None,
+    holdings_subset=UNRESOLVED_SUBSET,
 ) -> Set:
     """Compute a set ``Z`` satisfying eq. (2).
 
@@ -60,6 +62,12 @@ def compute_sufficient_set(
         set algebra over the cached sorted-neighbor lists (masked walks)
         instead of rebuilding a pairwise-distance matrix; the result is
         identical either way.
+    holdings_subset:
+        Optional pre-resolved membership mask for ``holdings`` (an
+        :class:`~repro.core.index.IndexSubset`, or ``None`` when
+        ``holdings`` is exactly the full index).  The detectors resolve the
+        mask once per event and share it across every neighbor's fixpoint;
+        when omitted it is resolved here.
 
     Returns
     -------
@@ -72,17 +80,28 @@ def compute_sufficient_set(
 
     # Resolve the membership mask of P once: every fixpoint iteration takes
     # supports within the same P, so the O(|P|) coverage check must not be
-    # repeated per iteration.
+    # repeated per iteration (nor per neighbor, when the caller passes the
+    # per-event mask in).
     ranking = query.ranking
-    P_subset = None
-    use_index = False
-    if index is not None:
+    if index is None:
+        use_index, P_subset = False, None
+    elif holdings_subset is UNRESOLVED_SUBSET:
         use_index, P_subset = index.try_subset(P)
+    else:
+        use_index, P_subset = True, holdings_subset
 
     if estimate is None:
-        estimate = query.outliers(P, index=index)
+        if use_index:
+            estimate = query.outliers(P, index=index, subset=P_subset)
+        else:
+            estimate = query.outliers(P, index=index)
     if estimate_support is None:
-        estimate_support = support_of_set(ranking, estimate, P, index=index)
+        if use_index:
+            estimate_support = support_of_set(
+                ranking, estimate, P, index=index, subset=P_subset
+            )
+        else:
+            estimate_support = support_of_set(ranking, estimate, P, index=index)
     Z: Set = set(estimate) | set(estimate_support)
 
     while True:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Set
 
 from .points import DataPoint
-from .ranking import RankingFunction
+from .ranking import RankingFunction, UNRESOLVED_SUBSET
 
 __all__ = ["support_set", "support_of_set", "is_support_set"]
 
@@ -45,18 +45,25 @@ def support_of_set(
     Q: Iterable[DataPoint],
     P: Iterable[DataPoint],
     index=None,
+    subset=UNRESOLVED_SUBSET,
 ) -> Set[DataPoint]:
     """Return ``[P|Q] = ∪_{x∈Q} [P|x]``.
 
     ``P`` is materialised once so that it may be any iterable.  When
     ``index`` covers both ``Q`` and ``P`` the membership mask over ``P`` is
     built once and every per-point support is a short walk over precomputed
-    ranks.
+    ranks.  Callers that already hold the resolved mask for ``P`` (the
+    detectors cache one per event) pass it as ``subset`` -- an
+    :class:`~repro.core.index.IndexSubset`, or ``None`` when ``P`` is the
+    whole index -- and the ``O(|P|)`` ``try_subset`` rebuild is skipped.
     """
     P_list = list(P)
     Q_list = list(Q)
     if index is not None and Q_list:
-        covered, subset = index.try_subset(P_list)
+        if subset is UNRESOLVED_SUBSET:
+            covered, subset = index.try_subset(P_list)
+        else:
+            covered = True
         if covered and index.covers(Q_list):
             result: Set[DataPoint] = set()
             for x in Q_list:

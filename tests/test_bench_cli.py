@@ -1,0 +1,123 @@
+"""Tests for the performance-benchmark harness and the ``bench`` CLI.
+
+The benchmark machinery is a regression guard, so these tests exercise it
+at deliberately tiny window sizes/event counts: the point is the artifact
+schema, the floor-check semantics and the CLI wiring, not the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    check_speedup_floor,
+    render_hotpath_table,
+    run_hotpath_bench,
+    write_bench_artifacts,
+)
+from repro.cli import main
+
+
+class TestHotpathHarness:
+    def test_payload_schema(self):
+        payload = run_hotpath_bench(windows=(12, 20), events=2, quick=True)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["benchmark"] == "hotpath"
+        assert payload["quick"] is True
+        assert [row["window"] for row in payload["windows"]] == [12, 20]
+        for row in payload["windows"]:
+            assert row["indexed_ms"] > 0
+            assert row["rebuild_ms"] > 0
+            assert row["speedup"] == row["rebuild_ms"] / row["indexed_ms"]
+            assert row["events_indexed"] == row["events_rebuild"] == 2
+
+    def test_render_table_lists_every_window(self):
+        payload = run_hotpath_bench(windows=(12,), events=2)
+        table = render_hotpath_table(payload)
+        assert "Per-event detector latency" in table
+        assert "      12 " in table
+
+    def test_floor_check_semantics(self):
+        payload = {
+            "windows": [
+                {"window": 256, "speedup": 6.0},
+                {"window": 1024, "speedup": 9.0},
+            ]
+        }
+        ok, message = check_speedup_floor(payload, 5.0, 256)
+        assert ok and "6.0x" in message
+        ok, _ = check_speedup_floor(payload, 7.5, 256)
+        assert not ok
+        # A missing window must fail, never pass vacuously.
+        ok, message = check_speedup_floor(payload, 1.0, 64)
+        assert not ok and "not in the measured sweep" in message
+
+    def test_artifacts_written_as_valid_json(self, tmp_path):
+        payload = run_hotpath_bench(windows=(12,), events=2)
+        written = write_bench_artifacts(tmp_path, hotpath=payload)
+        assert [p.name for p in written] == ["BENCH_hotpath.json"]
+        decoded = json.loads(written[0].read_text())
+        assert decoded["schema"] == BENCH_SCHEMA
+        assert decoded["windows"][0]["window"] == 12
+
+
+class TestBenchCLI:
+    def test_bench_writes_both_artifacts_and_passes_floor(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--quick",
+                "--windows",
+                "12,20",
+                "--events",
+                "2",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--floor",
+                "0.1",
+                "--floor-window",
+                "20",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "perf guard ok" in output
+        hotpath = json.loads((tmp_path / "BENCH_hotpath.json").read_text())
+        e2e = json.loads((tmp_path / "BENCH_e2e.json").read_text())
+        assert hotpath["benchmark"] == "hotpath"
+        assert e2e["benchmark"] == "e2e"
+        # The e2e grid covers all three algorithms of the paper.
+        algorithms = {row["algorithm"] for row in e2e["scenarios"]}
+        assert algorithms == {"global", "semi-global", "centralized"}
+        for row in e2e["scenarios"]:
+            assert row["wallclock_seconds"] > 0
+
+    def test_bench_check_fails_below_floor(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--windows",
+                "12",
+                "--events",
+                "2",
+                "--skip-e2e",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--floor",
+                "1e9",
+                "--floor-window",
+                "12",
+            ]
+        )
+        assert exit_code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # The artifact is still written so CI can upload the evidence.
+        assert (tmp_path / "BENCH_hotpath.json").exists()
+        assert not (tmp_path / "BENCH_e2e.json").exists()
+
+    def test_bench_rejects_malformed_windows(self, tmp_path, capsys):
+        assert main(["bench", "--windows", "abc"]) == 2
+        assert main(["bench", "--windows", "4"]) == 2

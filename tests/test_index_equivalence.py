@@ -41,6 +41,7 @@ from repro.core import (
     NeighborCountWithinRadius,
     NeighborhoodIndex,
     OutlierQuery,
+    ScoreCache,
     SemiGlobalOutlierDetector,
     compute_sufficient_set,
     global_reference,
@@ -222,6 +223,26 @@ class TestIndexMechanics:
         assert covered and subset is not None and subset.size == 5
         covered, subset = index.try_subset(pts[:2] + [make_point([0.0, 0.0], 9, 9)])
         assert not covered
+
+    def test_entries_is_readonly_snapshot(self):
+        """``entries()`` must not hand out the live internals: it returns an
+        immutable tuple, so callers cannot corrupt the index, and the
+        snapshot stays intact across later mutations."""
+        rng = random.Random(14)
+        pts = _cloud(rng, 8)
+        index = NeighborhoodIndex(pts)
+        entries = index.entries(pts[0])
+        assert isinstance(entries, tuple)
+        with pytest.raises(TypeError):
+            entries[0] = (0.0, None, 0)  # type: ignore[index]
+        before = list(entries)
+        assert index.discard(pts[3])
+        assert list(entries) == before  # snapshot untouched
+        assert len(index.entries(pts[0])) == len(before) - 1  # index moved on
+        # The snapshot is ordered by (distance, ≺) like the brute oracle.
+        ranking = NearestNeighborDistance()
+        remaining = [p for p in pts if p != pts[3]]
+        assert index.entries(pts[0])[0][0] == ranking.score(pts[0], remaining)
 
 
 # ----------------------------------------------------------------------
@@ -636,6 +657,196 @@ def test_indexed_paths_reject_mismatched_metric():
         ranking.score_indexed(manhattan_index, pts[0])
         == ranking.score(pts[0], pts)
     )
+
+
+# ----------------------------------------------------------------------
+# Dirty-set rescoring: randomized event streams vs the brute oracle
+#
+# The ScoreCache rescores only the points whose k-neighbor frontier an event
+# perturbed, so these tests drive indexed (cached) and brute-force detector
+# twins through interleaved add/evict/replace/message/neighborhood streams
+# and assert that every emitted message, every estimate and the final state
+# coincide -- under every registered metric, not only the Euclidean default.
+# ----------------------------------------------------------------------
+def _message_view(message):
+    return None if message is None else (message.sender, dict(message.payloads))
+
+
+def _assert_event_equal(fast, slow, fast_msg, slow_msg, query):
+    assert _message_view(fast_msg) == _message_view(slow_msg)
+    assert fast.holdings == slow.holdings
+    assert fast.estimate() == slow.estimate()
+    # The cache's maintained order must equal the oracle ranking whenever
+    # the detectors would trust it.
+    cache = getattr(fast, "_cache", None)
+    if cache is not None and not cache.degraded:
+        assert cache.top_n(query.n) == fast.estimate()
+
+
+@pytest.mark.parametrize("metric_name", registered_metrics())
+def test_global_dirty_rescoring_event_stream_matches_oracle(metric_name):
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-global-stream")
+    query = OutlierQuery(AverageKNNDistance(k=3, metric=metric), n=3)
+    fast = GlobalOutlierDetector(0, query, neighbors=[1, 2], indexed=True)
+    slow = GlobalOutlierDetector(0, query, neighbors=[1, 2], indexed=False)
+    assert fast._cache is not None  # the built-in rankings support caching
+
+    pool = []
+    epoch = 0
+    for step in range(60):
+        roll = rng.random()
+        if roll < 0.30 or len(pool) < 4:
+            fresh = _cloud(rng, rng.randint(1, 3), start_epoch=epoch)
+            epoch += 3
+            pool.extend(fresh)
+            events = [d.add_local_points(fresh) for d in (fast, slow)]
+        elif roll < 0.50:
+            victims = rng.sample(pool, rng.randint(1, min(3, len(pool))))
+            for victim in victims:
+                pool.remove(victim)
+            events = [d.evict_points(victims) for d in (fast, slow)]
+        elif roll < 0.70 and fast.neighbors:
+            sender = rng.choice(sorted(fast.neighbors))
+            delivered = _cloud(
+                rng, rng.randint(1, 3), origin=sender, start_epoch=epoch
+            )
+            epoch += 3
+            pool.extend(delivered)
+            events = [d.handle_message(sender, delivered) for d in (fast, slow)]
+        elif roll < 0.85:
+            fresh = _cloud(rng, 1, start_epoch=epoch)
+            epoch += 1
+            victims = rng.sample(pool, min(2, len(pool)))
+            for victim in victims:
+                pool.remove(victim)
+            pool.extend(fresh)
+            events = [
+                d.update_local_data(fresh, victims) for d in (fast, slow)
+            ]
+        else:
+            neighbors = rng.choice([{1}, {2}, {1, 2}])
+            events = [d.neighborhood_changed(neighbors) for d in (fast, slow)]
+        _assert_event_equal(fast, slow, events[0], events[1], query)
+
+
+@pytest.mark.parametrize("metric_name", registered_metrics())
+def test_semiglobal_dirty_rescoring_event_stream_matches_oracle(metric_name):
+    """Interleaved add/evict/replace/message streams: re-delivering a held
+    observation at a smaller hop exercises the O(1) relabel path and the
+    per-level caches' membership churn on every round."""
+    metric = _metric_for(metric_name)
+    rng = random.Random(f"{metric_name}-semiglobal-stream")
+    query = OutlierQuery(KthNearestNeighborDistance(k=2, metric=metric), n=2)
+    fast = SemiGlobalOutlierDetector(
+        0, query, hop_diameter=2, neighbors=[1, 2], indexed=True
+    )
+    slow = SemiGlobalOutlierDetector(
+        0, query, hop_diameter=2, neighbors=[1, 2], indexed=False
+    )
+    assert fast._caches is not None and len(fast._caches) == 2
+
+    pool = []
+    delivered_history = []
+    epoch = 0
+    for step in range(60):
+        roll = rng.random()
+        if roll < 0.30 or len(pool) < 4:
+            fresh = _cloud(rng, rng.randint(1, 2), start_epoch=epoch)
+            epoch += 2
+            pool.extend(fresh)
+            events = [d.add_local_points(fresh) for d in (fast, slow)]
+        elif roll < 0.50:
+            victims = rng.sample(pool, rng.randint(1, min(2, len(pool))))
+            for victim in victims:
+                pool.remove(victim)
+            events = [d.evict_points(victims) for d in (fast, slow)]
+        else:
+            sender = rng.choice([1, 2])
+            points = []
+            for _ in range(rng.randint(1, 3)):
+                if delivered_history and rng.random() < 0.45:
+                    # Re-deliver a known observation, sometimes at a smaller
+                    # hop -- the [·]^min merge replaces the held copy.
+                    previous = rng.choice(delivered_history)
+                    hop = max(1, previous.hop - rng.randint(0, 1))
+                    points.append(previous.with_hop(hop))
+                else:
+                    fresh = _cloud(
+                        rng, 1, origin=sender, start_epoch=epoch
+                    )[0].with_hop(rng.randint(1, 2))
+                    epoch += 1
+                    points.append(fresh)
+            delivered_history.extend(points)
+            pool.extend(p for p in points if p.rest not in
+                        {q.rest for q in pool})
+            events = [d.handle_message(sender, points) for d in (fast, slow)]
+        _assert_event_equal(fast, slow, events[0], events[1], query)
+
+
+def test_score_cache_matches_oracle_under_churn_and_degrades_on_twins():
+    rng = random.Random("score-cache-churn")
+    ranking = AverageKNNDistance(k=3)
+    index = NeighborhoodIndex()
+    cache = ScoreCache(index, ranking)
+    assert cache.supported
+    mirror = []
+    epoch = 0
+    for step in range(80):
+        if rng.random() < 0.55 or len(mirror) < 5:
+            fresh = _cloud(rng, 1, start_epoch=epoch)[0]
+            epoch += 1
+            index.add(fresh)
+            mirror.append(fresh)
+        else:
+            victim = rng.choice(mirror)
+            mirror.remove(victim)
+            index.discard(victim)
+        assert not cache.degraded
+        assert cache.top_n(4) == top_n_outliers(ranking, mirror, 4, index=index)
+        assert len(cache) == len(mirror)
+    # Two hop variants of one observation break strict (score, ≺) ordering,
+    # so the cache must flag itself rather than return a slot-order answer...
+    twin = mirror[0].with_hop(7)
+    index.add(twin)
+    assert cache.degraded
+    # ...and recover (with correct answers) once the twin leaves.
+    index.discard(twin)
+    assert not cache.degraded
+    assert cache.top_n(4) == top_n_outliers(ranking, mirror, 4, index=index)
+
+
+def test_score_cache_unsupported_without_frontier_spec():
+    """Rankings that do not expose a frontier structure (user-defined
+    subclasses) must leave the cache unsupported; detectors then take the
+    legacy full path and still match the oracle."""
+
+    class OpaqueRanking(AverageKNNDistance):
+        def frontier_spec(self):
+            return None
+
+    rng = random.Random("opaque")
+    index = NeighborhoodIndex(_cloud(rng, 6))
+    assert ScoreCache.if_supported(index, OpaqueRanking(k=2)) is None
+    # Direct construction still yields a fully initialized (inert) object.
+    cache = ScoreCache(index, OpaqueRanking(k=2))
+    assert not cache.supported and cache.degraded
+    assert len(cache) == 0
+    assert cache.member_points() == []
+    assert cache.top_n(3) == []
+
+    query = OutlierQuery(OpaqueRanking(k=2), n=2)
+    fast = GlobalOutlierDetector(0, query, neighbors=[1], indexed=True)
+    slow = GlobalOutlierDetector(0, query, neighbors=[1], indexed=False)
+    assert fast._cache is None
+    epoch = 0
+    for _ in range(10):
+        fresh = _cloud(rng, 2, start_epoch=epoch)
+        epoch += 2
+        fast_msg = fast.add_local_points(fresh)
+        slow_msg = slow.add_local_points(fresh)
+        assert _message_view(fast_msg) == _message_view(slow_msg)
+        assert fast.estimate() == slow.estimate()
 
 
 @pytest.mark.parametrize(
