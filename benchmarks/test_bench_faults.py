@@ -1,0 +1,58 @@
+"""Benchmarks for the fault-and-churn sweep families.
+
+Neither is a figure of the paper; both make its *robustness narrative*
+executable.  ``fault-churn`` drives node crash/recovery and duty-cycle
+sleep at increasing intensity and reports availability, convergence
+accuracy, injected-fault precision and data-level detection latency;
+``burst-loss`` compares correlated Gilbert-Elliott loss against i.i.d.
+loss at matched average rates, isolating what loss *correlation* costs the
+protocol beyond raw loss volume.
+"""
+
+from conftest import emit_report
+
+from repro.experiments.sweeps import (
+    BURST_RATES,
+    CHURN_LEVELS,
+    run_burst_loss,
+    run_fault_churn,
+)
+
+
+def test_bench_fault_churn(benchmark, profile):
+    figures = benchmark.pedantic(
+        lambda: run_fault_churn(profile), rounds=1, iterations=1
+    )
+    emit_report("faultchurn", figures)
+
+    availability, accuracy, _precision, _latency = figures
+    static_index = 0
+    for label in availability.series:
+        series = availability.series_for(label)
+        # The static level is the no-churn world ...
+        assert series[static_index] == 1.0
+        # ... and churn can only reduce planned availability.
+        assert all(value <= 1.0 for value in series)
+        assert series[-1] < 1.0  # the heavy level really takes nodes down
+    for label in accuracy.series:
+        series = accuracy.series_for(label)
+        assert series[static_index] == 1.0  # loss-free static => exact
+        assert all(0.0 <= value <= 1.0 for value in series)
+    assert len(availability.x_values) == len(CHURN_LEVELS)
+
+
+def test_bench_burst_loss(benchmark, profile):
+    figures = benchmark.pedantic(
+        lambda: run_burst_loss(profile), rounds=1, iterations=1
+    )
+    emit_report("burstloss", figures)
+
+    _accuracy, similarity, observed = figures
+    assert len(observed.x_values) == len(BURST_RATES)
+    for label in observed.series:
+        for rate, value in zip(BURST_RATES, observed.series_for(label)):
+            # Both channel models operate near the requested average rate
+            # (loose bound: tiny grids have few deliveries to average over).
+            assert 0.0 < value < 3.0 * rate + 0.05
+    for label in similarity.series:
+        assert all(0.0 <= value <= 1.0 for value in similarity.series_for(label))

@@ -1,6 +1,14 @@
 """Analysis utilities: accuracy metrics, energy aggregation, report tables."""
 
 from .accuracy import AccuracyReport, compare_estimates, jaccard, normalise
+from .robustness import (
+    LatencyReport,
+    RetrievalScores,
+    availability_report,
+    detection_latency,
+    injected_point_scores,
+    mean_availability,
+)
 from .energy_stats import EnergySummary, aggregate_energy, traffic_imbalance
 from .tables import format_series_table, format_table
 
@@ -9,6 +17,12 @@ __all__ = [
     "compare_estimates",
     "jaccard",
     "normalise",
+    "LatencyReport",
+    "RetrievalScores",
+    "availability_report",
+    "mean_availability",
+    "injected_point_scores",
+    "detection_latency",
     "EnergySummary",
     "aggregate_energy",
     "traffic_imbalance",

@@ -1,0 +1,184 @@
+"""Robustness metrics for fault-and-churn scenarios.
+
+Three questions the fault subsystem makes answerable, each with its metric:
+
+* **How available was the network?**  :func:`availability_report` reads the
+  per-node availability counters a fault-model run records
+  (``SimulationResult.fault_stats``); fault-free runs report 1.0.
+* **Did the detectors find the faulty-sensor points?**
+  :func:`injected_point_scores` grades the nodes' final estimates as a
+  retrieval task against the dataset's injection record (spikes, stuck-at
+  runs, drifts -- including the fault model's permanent whole-sensor
+  faults), restricted to the final windows so aged-out faults do not count
+  as misses.
+* **How quickly does a fault become visible?**  :func:`detection_latency`
+  replays the reference query round by round over the dataset alone and
+  measures, for each injected point, how many rounds pass between its
+  injection and its first appearance in the reference top-n.  This is a
+  property of the workload and the query (a data-level latency), so it
+  isolates "the fault is geometrically detectable after r rounds" from any
+  protocol or network effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set
+
+from ..core.outliers import OutlierQuery
+from ..core.points import DataPoint, RestKey
+from ..datasets.streams import SensorDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an analysis->wsn
+    # runtime dependency; this module only reads result attributes)
+    from ..wsn.results import SimulationResult
+
+__all__ = [
+    "RetrievalScores",
+    "LatencyReport",
+    "availability_report",
+    "mean_availability",
+    "injected_point_scores",
+    "detection_latency",
+]
+
+
+# ----------------------------------------------------------------------
+# Availability
+# ----------------------------------------------------------------------
+def availability_report(result: "SimulationResult") -> Dict[int, float]:
+    """Planned per-node availability of a run (1.0 for every node of a
+    fault-free run)."""
+    if result.fault_stats:
+        return {
+            node_id: float(stats["availability"])
+            for node_id, stats in sorted(result.fault_stats.items())
+        }
+    return {node_id: 1.0 for node_id in sorted(result.estimates)}
+
+
+def mean_availability(result: "SimulationResult") -> float:
+    """Network-wide mean planned availability.
+
+    Delegates to :attr:`~repro.wsn.results.SimulationResult.mean_availability`
+    so the summary table and the sweep reports can never diverge.
+    """
+    return result.mean_availability
+
+
+# ----------------------------------------------------------------------
+# Precision / recall on injected faulty-sensor points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetrievalScores:
+    """Precision/recall of reported outliers against injected faults."""
+
+    precision: float
+    recall: float
+    reported: int
+    relevant: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "reported": float(self.reported),
+            "relevant": float(self.relevant),
+        }
+
+
+def injected_point_scores(
+    result: "SimulationResult", dataset: SensorDataset
+) -> RetrievalScores:
+    """Grade the final estimates as retrieval of injected faulty points.
+
+    The *reported* set is the union over nodes of the final outlier
+    estimates; the *relevant* set is every injected point still inside some
+    final window (faults that aged out of the window are not recoverable
+    and therefore not counted as misses).  Precision is 1.0 by convention
+    when nothing was reported, recall 1.0 when nothing was recoverable.
+    """
+    scenario = result.scenario
+    window = scenario.detection.window_length
+    final_keys: Set[RestKey] = {
+        point.rest
+        for point in dataset.union_window(scenario.rounds - 1, window)
+    }
+    relevant = dataset.injections.all_keys & final_keys
+    reported: Set[RestKey] = set()
+    for keys in result.estimates.values():
+        reported |= set(keys)
+    hits = reported & relevant
+    return RetrievalScores(
+        precision=len(hits) / len(reported) if reported else 1.0,
+        recall=len(hits) / len(relevant) if relevant else 1.0,
+        reported=len(reported),
+        relevant=len(relevant),
+    )
+
+
+# ----------------------------------------------------------------------
+# Data-level detection latency
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencyReport:
+    """Rounds from injection to first reference-top-n appearance."""
+
+    latencies: Dict[RestKey, int]
+    undetected: int
+
+    @property
+    def detected(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def detected_fraction(self) -> float:
+        total = self.detected + self.undetected
+        return self.detected / total if total else 1.0
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean latency over the detected faults (0.0 when none detected)."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies.values()) / len(self.latencies)
+
+
+def detection_latency(
+    dataset: SensorDataset,
+    query: OutlierQuery,
+    window_length: int,
+    rounds: Optional[int] = None,
+) -> LatencyReport:
+    """Replay the reference query per round and time injected-fault visibility.
+
+    For every sampling round ``t`` the reference answer is the query's
+    top-n over the union of all sensors' windows ending at ``t``.  An
+    injected point first appearing in that answer at round ``t`` has
+    latency ``t - epoch`` (0 = flagged the round it was sampled).  Points
+    never appearing while inside a window count as ``undetected``.
+    """
+    rounds = dataset.epochs if rounds is None else min(rounds, dataset.epochs)
+    injected = dataset.injections.all_keys
+    if not injected:
+        return LatencyReport(latencies={}, undetected=0)
+    epoch_of: Dict[RestKey, int] = {}
+    first_seen: Dict[RestKey, int] = {}
+    ever_windowed: Set[RestKey] = set()
+    for round_index in range(rounds):
+        union: Set[DataPoint] = dataset.union_window(round_index, window_length)
+        windowed_injected = [p for p in union if p.rest in injected]
+        for point in windowed_injected:
+            ever_windowed.add(point.rest)
+            epoch_of.setdefault(point.rest, point.epoch)
+        answer: Iterable[DataPoint] = query.outliers(union)
+        for point in answer:
+            if point.rest in injected and point.rest not in first_seen:
+                first_seen[point.rest] = round_index
+    latencies = {
+        key: first_seen[key] - epoch_of[key] for key in first_seen
+    }
+    return LatencyReport(
+        latencies=latencies,
+        undetected=len(ever_windowed) - len(first_seen),
+    )

@@ -23,6 +23,21 @@ interpret a trajectory of them across commits.  The CLI's ``--check`` mode
 turns the hotpath result into a regression guard: it fails when the
 indexed-vs-rebuild speedup at ``--floor-window`` drops below ``--floor``.
 
+Methodology invariants (what makes two artifacts comparable):
+
+* **chunked-min timing** -- each measurement is the *fastest* fixed-size
+  chunk of events, not the mean: the minimum of repeated identical work is
+  the run least disturbed by the scheduler/GC, so it estimates the code's
+  cost rather than the machine's mood.  Consequence: numbers are comparable
+  across commits *on one machine*; absolute values from different machines
+  (or from pre-chunked-min artifacts) are not.
+* **identical work** -- the indexed and rebuild variants replay the *same*
+  deterministic event stream (same seed, same points), so the reported
+  speedup isolates the engine, not the workload.
+* **floors are on ratios** -- ``--check`` thresholds the indexed/rebuild
+  *speedup*, never an absolute latency, precisely so CI machines of
+  different speeds share one floor.
+
 The module is import-light so ``repro-wsn bench`` stays snappy; the wsn
 stack is imported lazily inside :func:`run_e2e_bench`.
 """

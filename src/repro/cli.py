@@ -20,6 +20,12 @@ Run the same scenario under a different metric space, over 4-dimensional
         --metric weighted-euclidean \\
         --metric-params '{"weights": [1.0, 0.5, 0.02, 0.02]}'
 
+Run it under network dynamics -- node churn, duty-cycle sleep or
+correlated burst loss (any subset of the FaultConfig fields)::
+
+    repro-wsn run --nodes 16 --rounds 15 -w 10 \\
+        --faults '{"crash_probability": 0.3, "recovery_probability": 1.0}'
+
 Regenerate a figure (text table written to stdout)::
 
     repro-wsn figure 4
@@ -53,6 +59,7 @@ from typing import List, Optional
 from .core.config import Algorithm, DetectionConfig
 from .core.errors import ReproError
 from .core.metrics import registered_metrics
+from .wsn.faults import FaultConfig
 from .wsn.runner import run_scenario
 from .wsn.scenario import ScenarioConfig
 
@@ -97,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="additional correlated sensing channels beyond temperature "
         "(points become (3 + N)-dimensional)",
+    )
+    run.add_argument(
+        "--faults",
+        metavar="JSON",
+        default=None,
+        help="fault model as a JSON object of FaultConfig fields, e.g. "
+        "'{\"crash_probability\": 0.3, \"recovery_probability\": 1.0}' "
+        "(node churn), '{\"duty_cycle\": 0.75}' (sleep cycles) or "
+        "'{\"burst_to_bad\": 0.02, \"burst_loss_bad\": 0.8}' "
+        "(Gilbert-Elliott burst loss)",
     )
     run.add_argument(
         "--json",
@@ -225,6 +242,24 @@ def _command_run(args: argparse.Namespace) -> int:
             print("error: --metric-params must be a JSON object", file=sys.stderr)
             return 2
         metric_params = tuple(decoded.items())
+    faults = FaultConfig()
+    if args.faults:
+        try:
+            decoded = json.loads(args.faults)
+        except json.JSONDecodeError as error:
+            print(f"error: --faults is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(decoded, dict):
+            print("error: --faults must be a JSON object", file=sys.stderr)
+            return 2
+        try:
+            faults = FaultConfig(**decoded)
+        except TypeError as error:
+            print(f"error: --faults: {error}", file=sys.stderr)
+            return 2
+        except ReproError as error:
+            print(f"error: --faults: {error}", file=sys.stderr)
+            return 2
     try:
         detection = DetectionConfig(
             algorithm=args.algorithm,
@@ -243,6 +278,7 @@ def _command_run(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             loss_probability=args.loss,
             extra_channels=args.extra_channels,
+            faults=faults,
             seed=args.seed,
         )
     except ReproError as error:

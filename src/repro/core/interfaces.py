@@ -86,6 +86,10 @@ class OutlierDetector(ABC):
         """Current immediate neighborhood ``Γ_i`` (copy)."""
         return set(self._neighbors)
 
+    def is_neighbor(self, sensor_id: int) -> bool:
+        """Membership test without copying the neighbor set (hot path)."""
+        return sensor_id in self._neighbors
+
     @property
     @abstractmethod
     def holdings(self) -> Set[DataPoint]:

@@ -34,6 +34,22 @@ semi-global detector); in the latter case it also maintains the level's
 :class:`~repro.core.index.IndexSubset` membership mask incrementally, so
 the per-event sufficient-set fixpoints reuse it instead of rebuilding it
 via ``try_subset``.
+
+Dirty-set soundness invariant
+-----------------------------
+The whole scheme is correct iff the dirty marking *over-approximates* the
+set of points whose score a mutation can change.  That reduction is exact
+for the supported frontier shapes: a k-NN score depends only on the k
+nearest neighbors, so inserting ``z`` changes ``R(x, ·)`` only if
+``dist(x, z) <= τ_x`` (the cached k-th-neighbor distance -- anything
+farther can never enter the head), and a radius count changes only if
+``dist(x, z) <= α``.  Deletions mark by the same test against the row the
+index computed before the splice, and any point whose τ is not yet cached
+is dirty by definition.  Rankings without a frontier characterisation
+return ``frontier_spec() = None`` and the detectors simply skip the cache
+-- a missing fast path degrades to the oracle, never to a wrong answer.
+The randomized equivalence suites (``tests/test_index_equivalence.py``)
+hold this invariant under adversarial churn for every registered metric.
 """
 
 from __future__ import annotations

@@ -11,7 +11,12 @@ from .layout import (
     random_layout,
 )
 from .loader import DatasetConfig, build_intel_lab_dataset
-from .outlier_injection import InjectionConfig, InjectionRecord, inject_anomalies
+from .outlier_injection import (
+    InjectionConfig,
+    InjectionRecord,
+    apply_node_faults,
+    inject_anomalies,
+)
 from .streams import SensorDataset
 from .synthetic import (
     EXTRA_CHANNEL_SPECS,
@@ -38,6 +43,7 @@ __all__ = [
     "InjectionConfig",
     "InjectionRecord",
     "inject_anomalies",
+    "apply_node_faults",
     "apply_missing_data",
     "drop_readings",
     "impute_missing",

@@ -22,7 +22,7 @@ from .layout import (
     DEFAULT_TERRAIN_SIZE,
     intel_lab_layout,
 )
-from .outlier_injection import InjectionConfig, inject_anomalies
+from .outlier_injection import InjectionConfig, apply_node_faults, inject_anomalies
 from .streams import SensorDataset
 from .synthetic import (
     MultiAttributeFieldModel,
@@ -43,6 +43,13 @@ class DatasetConfig:
     ``(temperature, extras..., x, y)`` value vectors and every extra
     channel is imputed by its own preceding-window average.  ``0``
     (default) keeps the paper's 3-attribute pipeline bit-for-bit.
+
+    ``node_stuck_probability`` / ``node_drift_probability`` engage the
+    fault subsystem's *permanent* sensor faults (see
+    :func:`~repro.datasets.outlier_injection.apply_node_faults`): with the
+    given per-node probability a sensor sticks or drifts from a random
+    onset epoch to the end of its stream.  Both ``0`` (default) keeps the
+    pipeline byte-identical to the fault-free one.
     """
 
     node_count: int = DEFAULT_NODE_COUNT
@@ -52,8 +59,11 @@ class DatasetConfig:
     imputation_window: int = 10
     injection: InjectionConfig = InjectionConfig()
     extra_channels: int = 0
+    node_stuck_probability: float = 0.0
+    node_drift_probability: float = 0.0
     field_seed: int = 0
     missing_seed: int = 2
+    node_fault_seed: int = 3
 
     def __post_init__(self) -> None:
         if self.node_count < 1:
@@ -62,6 +72,10 @@ class DatasetConfig:
             raise DatasetError("epochs must be >= 1")
         if self.extra_channels < 0:
             raise DatasetError("extra_channels must be non-negative")
+        for name in ("node_stuck_probability", "node_drift_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1], got {value}")
 
 
 def build_intel_lab_dataset(
@@ -94,4 +108,14 @@ def build_intel_lab_dataset(
         reading_channels=1 + config.extra_channels,
     )
     corrupted, record = inject_anomalies(completed, config.injection)
+    if config.node_stuck_probability or config.node_drift_probability:
+        corrupted, record = apply_node_faults(
+            corrupted,
+            record,
+            stuck_probability=config.node_stuck_probability,
+            drift_probability=config.node_drift_probability,
+            stuck_value=config.injection.stuck_value,
+            drift_rate=config.injection.drift_rate,
+            seed=config.node_fault_seed,
+        )
     return SensorDataset(positions=dict(placement), streams=corrupted, injections=record)

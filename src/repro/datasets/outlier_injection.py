@@ -25,7 +25,12 @@ from ..core.errors import DatasetError
 from ..core.points import DataPoint, RestKey, make_point
 from ..simulator.rng import RandomStreams
 
-__all__ = ["InjectionConfig", "InjectionRecord", "inject_anomalies"]
+__all__ = [
+    "InjectionConfig",
+    "InjectionRecord",
+    "inject_anomalies",
+    "apply_node_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -132,5 +137,67 @@ def inject_anomalies(
                 continue
             result.append(point)
             index += 1
+        corrupted[node_id] = result
+    return corrupted, record
+
+
+def apply_node_faults(
+    streams: Mapping[int, Sequence[DataPoint]],
+    record: InjectionRecord,
+    stuck_probability: float,
+    drift_probability: float,
+    stuck_value: float = 0.0,
+    drift_rate: float = 1.5,
+    seed: int = 3,
+) -> Tuple[Dict[int, List[DataPoint]], InjectionRecord]:
+    """Whole-sensor faults: a node's sensor goes bad and *stays* bad.
+
+    Unlike :func:`inject_anomalies` (transient, per-point faults), this
+    models the fault-and-churn subsystem's permanent hardware failures: with
+    the given per-node probabilities a sensor either sticks at
+    ``stuck_value`` or drifts away at ``drift_rate`` per epoch, from a
+    random onset epoch (drawn in the middle half of the stream) to the end.
+    Corrupted points are added to ``record.stuck`` / ``record.drifts`` so
+    robustness metrics can grade detectors on faulty-sensor points.
+
+    Each node draws from its own named stream (``sensor-fault-<id>``), so
+    one node's fault never perturbs another's draws.  With both
+    probabilities zero this is an exact no-op: ``streams`` is returned
+    unchanged (same objects) and no stream is consumed.
+    """
+    if not 0.0 <= stuck_probability <= 1.0 or not 0.0 <= drift_probability <= 1.0:
+        raise DatasetError("sensor-fault probabilities must be in [0, 1]")
+    if stuck_probability + drift_probability > 1.0:
+        raise DatasetError(
+            "stuck_probability + drift_probability must not exceed 1"
+        )
+    if stuck_probability == 0.0 and drift_probability == 0.0:
+        return dict(streams), record
+
+    family = RandomStreams(seed)
+    corrupted: Dict[int, List[DataPoint]] = {}
+    for node_id in sorted(streams):
+        original = list(streams[node_id])
+        rng = family.stream(f"sensor-fault-{node_id}")
+        draw = rng.random()
+        if draw >= stuck_probability + drift_probability or len(original) < 2:
+            corrupted[node_id] = original
+            continue
+        # Onset in the middle half of the stream: the fault has clean data
+        # before it (so it is detectable as a change) and a tail long enough
+        # to dominate the final windows.
+        epochs = len(original)
+        onset = rng.randint(epochs // 4, max(epochs // 4, (3 * epochs) // 4))
+        result = original[:onset]
+        for offset, victim in enumerate(original[onset:]):
+            if draw < stuck_probability:
+                faulty = _replace_value(victim, stuck_value)
+                record.stuck.add(faulty.rest)
+            else:
+                faulty = _replace_value(
+                    victim, victim.values[0] + drift_rate * (offset + 1)
+                )
+                record.drifts.add(faulty.rest)
+            result.append(faulty)
         corrupted[node_id] = result
     return corrupted, record

@@ -34,6 +34,10 @@ from .figure8 import run_figure8
 from .figure9 import outlier_count_scenarios, outlier_count_sweep, run_figure9
 from .imbalance import run_imbalance_experiment
 from .sweeps import (
+    burst_loss_scenarios,
+    fault_churn_scenarios,
+    run_burst_loss,
+    run_fault_churn,
     run_scaling,
     run_stress_loss,
     scaling_scenarios,
@@ -63,6 +67,10 @@ __all__ = [
     "run_imbalance_experiment",
     "run_stress_loss",
     "run_scaling",
+    "run_fault_churn",
+    "run_burst_loss",
+    "fault_churn_scenarios",
+    "burst_loss_scenarios",
     "global_window_sweep",
     "global_window_scenarios",
     "semi_global_window_sweep",

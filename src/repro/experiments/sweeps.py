@@ -13,7 +13,13 @@ that only exist because the orchestrator makes them cheap to declare:
 * ``metric-sensitivity`` -- every registered metric space (Euclidean,
   Manhattan, Chebyshev, weighted Euclidean, Mahalanobis) run over the same
   multi-attribute injected-anomaly workload, comparing convergence accuracy
-  and how well each geometry's top-n outliers recover the injected faults.
+  and how well each geometry's top-n outliers recover the injected faults;
+* ``fault-churn`` -- the paper's robustness claim as a sweep: node
+  crash/recovery and duty-cycle sleep at increasing churn intensity, with
+  availability, convergence accuracy, injected-fault precision and
+  data-level detection latency per algorithm;
+* ``burst-loss`` -- correlated Gilbert-Elliott burst loss versus i.i.d.
+  loss *at the same average loss rate*, isolating the cost of burstiness.
 
 Every family is driven by ``repro-wsn sweep <name> --workers N --store D``:
 the scenario grid resolves through the parallel executor and the optional
@@ -25,10 +31,16 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Sequence, Tuple
 
+from ..analysis.robustness import (
+    detection_latency,
+    injected_point_scores,
+    mean_availability,
+)
 from ..core.config import Algorithm, DetectionConfig
 from ..datasets.loader import build_intel_lab_dataset
 from ..datasets.outlier_injection import InjectionConfig
 from ..orchestrator import SweepFamily, register
+from ..wsn.faults import FaultConfig
 from ..wsn.scenario import ScenarioConfig
 from .accuracy_experiment import accuracy_scenarios, run_accuracy_experiment
 from .common import ExperimentProfile, FigureResult, run_many
@@ -52,6 +64,12 @@ __all__ = [
     "metric_sensitivity_windows",
     "metric_sensitivity_scenarios",
     "run_metric_sensitivity",
+    "CHURN_LEVELS",
+    "fault_churn_scenarios",
+    "run_fault_churn",
+    "BURST_RATES",
+    "burst_loss_scenarios",
+    "run_burst_loss",
 ]
 
 
@@ -377,6 +395,302 @@ def run_metric_sensitivity(profile: ExperimentProfile) -> Sequence[FigureResult]
 
 
 # ----------------------------------------------------------------------
+# New workload 4: fault-and-churn robustness sweep
+# ----------------------------------------------------------------------
+#: Churn intensities probed, from the static baseline to a network where
+#: half the nodes crash, a third of them stay dead, everyone duty-cycles
+#: and a tenth of the sensors go permanently bad.  The x value of the
+#: report tables is the crash probability.
+CHURN_LEVELS: Tuple[Tuple[str, FaultConfig], ...] = (
+    ("static", FaultConfig()),
+    (
+        "light",
+        FaultConfig(
+            crash_probability=0.25,
+            recovery_probability=1.0,
+            min_downtime_rounds=1,
+            max_downtime_rounds=2,
+        ),
+    ),
+    (
+        "heavy",
+        FaultConfig(
+            crash_probability=0.5,
+            recovery_probability=0.7,
+            min_downtime_rounds=1,
+            max_downtime_rounds=3,
+            duty_cycle=0.75,
+            duty_period_rounds=2,
+            sensor_stuck_probability=0.1,
+        ),
+    ),
+)
+
+#: Same dense injection the metric sweep uses: even tiny smoke grids then
+#: contain faults for the precision/latency metrics to recover.
+_FAULT_INJECTION = _METRIC_INJECTION
+
+
+def _fault_configurations(window: int) -> List[Tuple[str, DetectionConfig]]:
+    return [
+        ("Global-NN", DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
+                                      n_outliers=4, k=4, window_length=window)),
+        ("Semi-global, epsilon=2",
+         DetectionConfig(algorithm=Algorithm.SEMI_GLOBAL, ranking="nn",
+                         n_outliers=4, k=4, window_length=window, hop_diameter=2)),
+    ]
+
+
+def _fault_repetitions(
+    profile: ExperimentProfile, detection: DetectionConfig, faults: FaultConfig
+) -> List[ScenarioConfig]:
+    return [
+        replace(scenario, injection=_FAULT_INJECTION, faults=faults)
+        for scenario in profile.repetition_scenarios(detection)
+    ]
+
+
+def fault_churn_scenarios(profile: ExperimentProfile) -> List[ScenarioConfig]:
+    """The full churn-level x algorithm x repetition grid."""
+    window = _stress_window(profile)
+    return [
+        scenario
+        for _level, faults in CHURN_LEVELS
+        for _label, detection in _fault_configurations(window)
+        for scenario in _fault_repetitions(profile, detection, faults)
+    ]
+
+
+def run_fault_churn(profile: ExperimentProfile) -> Sequence[FigureResult]:
+    """Robustness under node churn: availability, accuracy, fault recovery.
+
+    Four tables over the churn axis (x = crash probability):
+
+    * planned mean node availability (a sanity anchor: the availability the
+      schedules imply, independent of any protocol);
+    * convergence accuracy -- the paper's metric, now under churn.  The
+      reference answer is computed over the points that actually entered
+      the network, so the degradation measures protocol behaviour, not the
+      impossibility of knowing unsampled data;
+    * precision of the union of final estimates on injected faulty points
+      (are the outliers the network reports actual faults?);
+    * data-level detection latency of the injected faults under the same
+      query (how many rounds until a fault is geometrically visible in the
+      reference top-n) -- identical across algorithms by construction, so
+      it is reported once per churn level.
+    """
+    window = _stress_window(profile)
+    configurations = _fault_configurations(window)
+    run_many(fault_churn_scenarios(profile))
+
+    availability: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    accuracy: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    precision: Dict[str, List[float]] = {label: [] for label, _ in configurations}
+    latency: Dict[str, List[float]] = {"Reference (data-level)": []}
+    dataset_cache: Dict[object, object] = {}
+
+    def dataset_for(scenario: ScenarioConfig):
+        config = scenario.dataset_config()
+        if config not in dataset_cache:
+            dataset_cache[config] = build_intel_lab_dataset(config)
+        return dataset_cache[config]
+
+    for _level, faults in CHURN_LEVELS:
+        for label, detection in configurations:
+            scenarios = _fault_repetitions(profile, detection, faults)
+            results = run_many(scenarios)
+            availability[label].append(
+                sum(mean_availability(r) for r in results) / len(results)
+            )
+            accuracy[label].append(
+                sum(r.accuracy.exact_fraction for r in results) / len(results)
+            )
+            precision[label].append(
+                sum(
+                    injected_point_scores(result, dataset_for(scenario)).precision
+                    for scenario, result in zip(scenarios, results)
+                )
+                / len(results)
+            )
+        # Latency is a property of (dataset, query, window) only -- every
+        # configuration shares those, so compute it once per level, over
+        # the first configuration's repetitions.
+        _first_label, first_detection = configurations[0]
+        latency_samples: List[float] = [
+            detection_latency(
+                dataset_for(scenario),
+                first_detection.make_query(),
+                first_detection.window_length,
+            ).mean_rounds
+            for scenario in _fault_repetitions(profile, first_detection, faults)
+        ]
+        latency["Reference (data-level)"].append(
+            sum(latency_samples) / len(latency_samples) if latency_samples else 0.0
+        )
+
+    note = (
+        f"{profile.node_count} nodes, w={window}, n=4, levels "
+        f"{'/'.join(level for level, _ in CHURN_LEVELS)}, "
+        f"{profile.repetitions} seed(s), profile={profile.name}"
+    )
+    x_values = [float(faults.crash_probability) for _level, faults in CHURN_LEVELS]
+    return (
+        FigureResult(
+            figure="Fault churn: planned mean node availability",
+            x_label="crash probability",
+            x_values=x_values,
+            series=availability,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Fault churn: fraction of sensors with an exact estimate",
+            x_label="crash probability",
+            x_values=x_values,
+            series=accuracy,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Fault churn: injected-fault precision of the union of "
+                   "final estimates",
+            x_label="crash probability",
+            x_values=x_values,
+            series=precision,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Fault churn: mean detection latency of injected faults "
+                   "[rounds]",
+            x_label="crash probability",
+            x_values=x_values,
+            series=latency,
+            notes=note,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# New workload 5: correlated burst loss vs i.i.d. loss
+# ----------------------------------------------------------------------
+#: Average loss rates at which the two channel models are compared.
+BURST_RATES = (0.05, 0.1, 0.2)
+
+#: Fixed shape of the Gilbert-Elliott chain: mean bad-burst length
+#: ``1 / p_bad_to_good`` = 4 delivery attempts, 80% loss while bad.
+_BURST_TO_GOOD = 0.25
+_BURST_LOSS_BAD = 0.8
+
+
+def _burst_config_for_rate(rate: float) -> FaultConfig:
+    """Gilbert-Elliott parameters whose stationary loss equals ``rate``."""
+    pi_bad = rate / _BURST_LOSS_BAD
+    to_bad = _BURST_TO_GOOD * pi_bad / (1.0 - pi_bad)
+    return FaultConfig(
+        burst_to_bad=to_bad,
+        burst_to_good=_BURST_TO_GOOD,
+        burst_loss_bad=_BURST_LOSS_BAD,
+    )
+
+
+def _burst_detection(window: int) -> DetectionConfig:
+    return DetectionConfig(algorithm=Algorithm.GLOBAL, ranking="nn",
+                           n_outliers=4, k=4, window_length=window)
+
+
+def _burst_scenarios_for(
+    profile: ExperimentProfile, rate: float, bursty: bool
+) -> List[ScenarioConfig]:
+    detection = _burst_detection(_stress_window(profile))
+    if bursty:
+        return [
+            replace(scenario, faults=_burst_config_for_rate(rate))
+            for scenario in profile.repetition_scenarios(detection)
+        ]
+    return [
+        replace(scenario, loss_probability=rate)
+        for scenario in profile.repetition_scenarios(detection)
+    ]
+
+
+def burst_loss_scenarios(profile: ExperimentProfile) -> List[ScenarioConfig]:
+    """The full rate x channel-model x repetition grid."""
+    return [
+        scenario
+        for rate in BURST_RATES
+        for bursty in (False, True)
+        for scenario in _burst_scenarios_for(profile, rate, bursty)
+    ]
+
+
+def run_burst_loss(profile: ExperimentProfile) -> Sequence[FigureResult]:
+    """Does loss *correlation* hurt beyond the average loss rate?
+
+    Both series lose the same expected fraction of packets; the
+    Gilbert-Elliott series loses them in bursts (mean bad-burst length 4,
+    80% loss while bad).  Burst loss wipes out consecutive repair rounds of
+    the same neighborhood, which the protocol tolerates worse than the
+    same number of scattered losses -- the gap between the curves is the
+    cost of correlation.  The second table reports the *observed* loss
+    fraction as a live check that the two models really operate at the
+    same average rate.
+    """
+    run_many(burst_loss_scenarios(profile))
+    models = (("IID loss", False), ("Gilbert-Elliott burst", True))
+    accuracy: Dict[str, List[float]] = {label: [] for label, _ in models}
+    similarity: Dict[str, List[float]] = {label: [] for label, _ in models}
+    observed: Dict[str, List[float]] = {label: [] for label, _ in models}
+    for rate in BURST_RATES:
+        for label, bursty in models:
+            results = run_many(_burst_scenarios_for(profile, rate, bursty))
+            accuracy[label].append(
+                sum(r.accuracy.exact_fraction for r in results) / len(results)
+            )
+            similarity[label].append(
+                sum(r.accuracy.mean_similarity for r in results) / len(results)
+            )
+            observed[label].append(
+                sum(
+                    r.channel.losses / (r.channel.losses + r.channel.deliveries)
+                    if (r.channel.losses + r.channel.deliveries)
+                    else 0.0
+                    for r in results
+                )
+                / len(results)
+            )
+
+    window = _stress_window(profile)
+    note = (
+        f"{profile.node_count} nodes, w={window}, Global-NN n=4, mean "
+        f"burst length {1.0 / _BURST_TO_GOOD:.0f}, "
+        f"{profile.repetitions} seed(s), profile={profile.name}"
+    )
+    x_values = [float(rate) for rate in BURST_RATES]
+    return (
+        FigureResult(
+            figure="Burst loss: fraction of sensors with an exact estimate",
+            x_label="average loss rate",
+            x_values=x_values,
+            series=accuracy,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Burst loss: mean Jaccard similarity of estimates to the "
+                   "reference",
+            x_label="average loss rate",
+            x_values=x_values,
+            series=similarity,
+            notes=note,
+        ),
+        FigureResult(
+            figure="Burst loss: observed per-delivery loss fraction",
+            x_label="average loss rate",
+            x_values=x_values,
+            series=observed,
+            notes=note,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
 def _flatten(report) -> Sequence[FigureResult]:
@@ -469,6 +783,21 @@ _FAMILIES = (
                     "and injected-fault precision per geometry",
         build=metric_sensitivity_scenarios,
         report=run_metric_sensitivity,
+    ),
+    SweepFamily(
+        name="fault-churn",
+        description="Node crash/recovery + duty-cycle churn grid: "
+                    "availability, accuracy, injected-fault precision and "
+                    "detection latency per algorithm",
+        build=fault_churn_scenarios,
+        report=run_fault_churn,
+    ),
+    SweepFamily(
+        name="burst-loss",
+        description="Correlated Gilbert-Elliott burst loss vs i.i.d. loss "
+                    "at matched average rates (the cost of burstiness)",
+        build=burst_loss_scenarios,
+        report=run_burst_loss,
     ),
 )
 

@@ -1,6 +1,6 @@
 """Wireless network substrate: topology, channel, nodes, energy accounting."""
 
-from .channel import ChannelStatistics, WirelessChannel
+from .channel import ChannelStatistics, GilbertElliottParams, WirelessChannel
 from .energy import CROSSBOW_MICA2, EnergyMeter, EnergyModel
 from .node import SimNode
 from .packet import BROADCAST_ADDRESS, Packet, PacketKind
@@ -12,6 +12,7 @@ __all__ = [
     "NodePlacement",
     "WirelessChannel",
     "ChannelStatistics",
+    "GilbertElliottParams",
     "SimNode",
     "Packet",
     "PacketKind",

@@ -13,7 +13,15 @@ The channel models:
 * a small constant per-hop processing latency,
 * independent per-receiver packet loss with a configurable probability
   (the paper assumes mostly-reliable delivery; a small loss rate is used for
-  the accuracy-under-loss experiments).
+  the accuracy-under-loss experiments),
+* optionally, *correlated* burst loss: a two-state Gilbert-Elliott Markov
+  chain per directed link (see :class:`GilbertElliottParams`) replaces the
+  i.i.d. model, reproducing the multi-packet fades real radios exhibit.
+
+Nodes that are powered down (fault-model crash or duty-cycle sleep) neither
+transmit nor receive: a down sender's transmission evaporates without
+charging energy, and a down receiver is skipped entirely -- its radio is
+off, so it pays no promiscuous receive energy either.
 
 Collisions are not modelled explicitly -- the paper relies on carrier-sense
 to avoid them and does not report collision statistics; their first-order
@@ -23,7 +31,7 @@ effect (occasional missing packets) is covered by the loss probability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..core.errors import ConfigurationError, SimulationError
 from ..simulator.engine import Simulator
@@ -34,7 +42,45 @@ from .topology import Topology
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import SimNode
 
-__all__ = ["ChannelStatistics", "WirelessChannel"]
+__all__ = ["ChannelStatistics", "GilbertElliottParams", "WirelessChannel"]
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Two-state (good/bad) burst-loss channel model.
+
+    Before each delivery attempt on a directed link the link's state
+    advances one Markov step (``p_good_to_bad`` / ``p_bad_to_good``), then
+    the packet is lost with the state's loss probability.  The stationary
+    loss rate is ``pi_bad * loss_bad + (1 - pi_bad) * loss_good`` with
+    ``pi_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good)``, which lets
+    experiments match the *average* rate of an i.i.d. model while varying
+    only the burstiness.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.p_bad_to_good <= 1.0:
+            raise ConfigurationError(
+                f"p_bad_to_good must be in (0, 1], got {self.p_bad_to_good}"
+            )
+
+    @property
+    def stationary_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0.0:
+            return self.loss_good
+        pi_bad = self.p_good_to_bad / denominator
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
 
 
 @dataclass
@@ -71,7 +117,13 @@ class WirelessChannel:
     processing_delay:
         Fixed per-hop latency added on top of the airtime, in seconds.
     streams:
-        Seeded random streams; the channel uses the ``"channel"`` stream.
+        Seeded random streams; the channel uses the ``"channel"`` stream
+        (and, when the burst model is active, ``"channel-burst"`` -- a
+        separate stream so enabling bursts never perturbs the i.i.d. draws
+        of other components).
+    burst:
+        Optional :class:`GilbertElliottParams`; when given, correlated
+        burst loss *replaces* the i.i.d. ``loss_probability`` model.
     """
 
     def __init__(
@@ -81,6 +133,7 @@ class WirelessChannel:
         loss_probability: float = 0.0,
         processing_delay: float = 1e-3,
         streams: Optional[RandomStreams] = None,
+        burst: Optional[GilbertElliottParams] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ConfigurationError(
@@ -94,7 +147,11 @@ class WirelessChannel:
         self.topology = topology
         self.loss_probability = float(loss_probability)
         self.processing_delay = float(processing_delay)
-        self._rng = (streams or RandomStreams(0)).stream("channel")
+        self.burst = burst
+        streams = streams or RandomStreams(0)
+        self._rng = streams.stream("channel")
+        self._burst_rng = streams.stream("channel-burst") if burst else None
+        self._burst_bad: Dict[Tuple[int, int], bool] = {}
         self._nodes: Dict[int, "SimNode"] = {}
         self.stats = ChannelStatistics()
 
@@ -134,6 +191,10 @@ class WirelessChannel:
         processing delay.
         """
         sender = self.node(sender_id)
+        if not sender.up:
+            # The radio is powered down (crash / duty-cycle sleep): nothing
+            # reaches the air and no energy is spent.
+            return
         airtime = sender.energy.model.airtime(packet.size_bytes)
         sender.energy.charge_tx(packet.size_bytes)
         self.stats.transmissions += 1
@@ -142,11 +203,13 @@ class WirelessChannel:
         delay = airtime + self.processing_delay
         for neighbor_id in sorted(self.topology.neighbors(sender_id)):
             receiver = self._nodes.get(neighbor_id)
-            if receiver is None:
+            if receiver is None or not receiver.up:
+                # A powered-down receiver's radio is off: no promiscuous
+                # receive energy, no delivery, no loss draw.
                 continue
             # Promiscuous listening: the radio decodes everything in range.
             receiver.energy.charge_rx(packet.size_bytes)
-            if self.loss_probability and self._rng.random() < self.loss_probability:
+            if self._lost(sender_id, neighbor_id):
                 self.stats.losses += 1
                 continue
             self.stats.deliveries += 1
@@ -156,3 +219,29 @@ class WirelessChannel:
                 packet,
                 name=f"deliver#{packet.packet_id}->{neighbor_id}",
             )
+
+    def _lost(self, sender_id: int, receiver_id: int) -> bool:
+        """One loss decision for this delivery attempt.
+
+        Without a burst model this is the legacy i.i.d. Bernoulli draw (and
+        consumes exactly the same ``"channel"`` stream draws as before the
+        fault subsystem existed).  With a burst model, the directed link's
+        Gilbert-Elliott state advances one step and the state's loss
+        probability applies, both drawn from the dedicated
+        ``"channel-burst"`` stream.
+        """
+        if self.burst is None:
+            return bool(
+                self.loss_probability
+                and self._rng.random() < self.loss_probability
+            )
+        link = (sender_id, receiver_id)
+        bad = self._burst_bad.get(link, False)
+        if bad:
+            if self._burst_rng.random() < self.burst.p_bad_to_good:
+                bad = False
+        elif self._burst_rng.random() < self.burst.p_good_to_bad:
+            bad = True
+        self._burst_bad[link] = bad
+        loss = self.burst.loss_bad if bad else self.burst.loss_good
+        return bool(loss and self._burst_rng.random() < loss)

@@ -49,7 +49,23 @@ class SimNode:
         self.energy = EnergyMeter(model=energy_model)
         self._handlers: List[PacketHandler] = []
         self.packets_discarded = 0
+        #: Availability state driven by the fault model; a down node neither
+        #: samples, transmits nor receives.  Always ``True`` without faults.
+        self.up = True
+        self.transmissions_suppressed = 0
+        self.deliveries_missed_down = 0
         channel.attach(self)
+
+    # ------------------------------------------------------------------
+    # Availability (fault model)
+    # ------------------------------------------------------------------
+    def power_down(self) -> None:
+        """Turn the radio (and the node) off: crash or duty-cycle sleep."""
+        self.up = False
+
+    def power_up(self) -> None:
+        """Bring the node back; state restoration is the application's job."""
+        self.up = True
 
     # ------------------------------------------------------------------
     # Handler stack
@@ -77,10 +93,18 @@ class SimNode:
                 f"node {self.node_id} cannot transmit a packet whose link source "
                 f"is {packet.link_source}"
             )
+        if not self.up:
+            # A transmission scheduled before a crash/sleep fires into a
+            # dead radio: it silently evaporates.
+            self.transmissions_suppressed += 1
+            return
         self.channel.transmit(self.node_id, packet)
 
     def broadcast(self, packet: Packet) -> None:
         """Transmit a link-layer broadcast originating here."""
+        if not self.up:
+            self.transmissions_suppressed += 1
+            return
         packet.link_source = self.node_id
         packet.link_destination = BROADCAST_ADDRESS
         self.channel.transmit(self.node_id, packet)
@@ -90,6 +114,11 @@ class SimNode:
     # ------------------------------------------------------------------
     def deliver(self, packet: Packet) -> None:
         """Called by the channel when a packet reaches this node's radio."""
+        if not self.up:
+            # The node went down between the loss draw and the delivery
+            # instant (airtime + processing delay): the packet is gone.
+            self.deliveries_missed_down += 1
+            return
         if not packet.is_broadcast and packet.link_destination != self.node_id:
             # Overheard unicast traffic meant for someone else: the energy
             # has been spent, but the packet is not processed further.

@@ -16,6 +16,22 @@ Scenarios are pure functions of their configuration -- every random stream
 is derived from the scenario seed -- so the parallel path is *bit-identical*
 to the serial one: the pool only changes where the work happens, never what
 is computed (see ``tests/test_orchestrator.py::TestDeterminism``).
+
+Invariants the executor maintains:
+
+* **purity** -- nothing outside the ``ScenarioConfig`` influences a result;
+  workers receive only the scenario (via ``run_scenario_worker``) and every
+  stochastic component inside a run draws from streams named off the
+  scenario seed, which is what makes memory hits, store hits and fresh
+  computations interchangeable;
+* **write-through ordering** -- freshly computed results land in the memory
+  tier and the store one by one *as they complete*, so an interrupted sweep
+  keeps every finished result and a concurrent sweep on the same store
+  starts warm;
+* **alignment** -- the returned list matches the requested order, with
+  duplicate requests sharing one result object (the build/report split in
+  the sweep families relies on this: a report re-requesting a scenario is
+  always a memory hit, never a second simulation).
 """
 
 from __future__ import annotations

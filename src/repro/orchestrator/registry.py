@@ -12,6 +12,15 @@ workloads can register theirs from anywhere), and are what the
 This module is intentionally ignorant of the experiments layer: a family's
 ``build``/``report`` callables receive the profile object opaquely, so the
 registry can sit below every layer that wants to declare work.
+
+Contract between ``build`` and ``report``: ``build(profile)`` must
+enumerate *every* scenario the family's ``report(profile)`` will request
+(duplicates are fine -- the executor deduplicates), so that the sweep CLI
+can resolve the whole grid in parallel first and the report phase renders
+entirely from warm cache.  A report that quietly requests a scenario
+outside its build grid still works, but serially -- it forfeits the
+parallel fan-out, which at paper scale is the difference between minutes
+and hours.
 """
 
 from __future__ import annotations

@@ -18,6 +18,20 @@ Robustness rules:
 * a decoded entry whose embedded scenario does not match the requested one
   (hash collision, or an encoding that silently dropped a field) is also a
   miss.
+
+Cache-key hygiene invariants (what keeps a warm store trustworthy):
+
+* the canonical encoding is produced by ``dataclasses.asdict`` over
+  *every* ``ScenarioConfig`` field, nested configs included -- a new
+  scenario knob is part of the key the moment it exists, so two scenarios
+  that differ in any field can never share an entry
+  (``tests/test_orchestrator.py::test_every_field_is_part_of_the_encoding``);
+* :data:`STORE_SCHEMA_VERSION` is hashed into every key and must be bumped
+  whenever a *code* change alters what a scenario computes -- results are
+  pure functions of ``(scenario, code)``, and the version is the code's
+  stand-in;
+* served entries are verified: the embedded scenario must decode equal to
+  the requested one, so even a key collision degrades to a recompute.
 """
 
 from __future__ import annotations
@@ -48,7 +62,14 @@ __all__ = [
 #: :class:`~repro.wsn.scenario.ScenarioConfig`; entries written by schema-1
 #: code would otherwise decode to a scenario that no longer matches the
 #: requested one field-for-field, so they are recomputed rather than mis-hit.
-STORE_SCHEMA_VERSION = 2
+#:
+#: History: 3 -- the fault-and-churn subsystem added ``faults`` (a nested
+#: :class:`~repro.wsn.faults.FaultConfig`) to ``ScenarioConfig`` and the
+#: optional ``fault_stats`` section to serialised results.  Fault-free runs
+#: still *compute* byte-identical transcripts, but schema-2 encodings lack
+#: the ``faults`` field and would fail the decoded-scenario equality check
+#: anyway -- the bump makes the invalidation explicit instead of incidental.
+STORE_SCHEMA_VERSION = 3
 
 
 def canonical_scenario_json(scenario: ScenarioConfig) -> str:

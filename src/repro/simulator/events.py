@@ -17,8 +17,15 @@ __all__ = ["Event", "EventPriority"]
 
 
 class EventPriority:
-    """Relative ordering of events that fire at the same instant."""
+    """Relative ordering of events that fire at the same instant.
 
+    ``FAULT`` sorts before everything else: availability flips from a
+    fault-model schedule (node crash/recovery, duty-cycle sleep) must take
+    effect before any sample, transmission or delivery that shares the same
+    instant, so "the node was down at time t" has one unambiguous meaning.
+    """
+
+    FAULT = -10
     HIGH = 0
     NORMAL = 10
     LOW = 20

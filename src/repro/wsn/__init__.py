@@ -9,6 +9,7 @@ from .centralized_app import (
 )
 from .deployment import Deployment, build_deployment
 from .detector_app import DistributedDetectorApp
+from .faults import FaultConfig, FaultPlan, FaultRuntime
 from .results import SimulationResult
 from .runner import (
     run_repetitions,
@@ -20,6 +21,9 @@ from .scenario import ScenarioConfig
 
 __all__ = [
     "ScenarioConfig",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultRuntime",
     "Deployment",
     "build_deployment",
     "DistributedDetectorApp",

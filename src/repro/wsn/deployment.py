@@ -33,6 +33,7 @@ from ..simulator.engine import Simulator
 from ..simulator.rng import RandomStreams
 from .centralized_app import CentralizedClientApp, CentralizedSinkApp
 from .detector_app import DistributedDetectorApp
+from .faults import FaultPlan, FaultRuntime
 from .scenario import ScenarioConfig
 
 __all__ = ["Deployment", "build_deployment"]
@@ -53,6 +54,7 @@ class Deployment:
     apps: Dict[int, AppType] = field(default_factory=dict)
     detectors: Dict[int, OutlierDetector] = field(default_factory=dict)
     routing: Dict[int, Union[AodvAgent, StaticRoutingAgent]] = field(default_factory=dict)
+    fault_runtime: Optional[FaultRuntime] = None
 
     @property
     def sink_app(self) -> Optional[CentralizedSinkApp]:
@@ -74,6 +76,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
         topology,
         loss_probability=scenario.loss_probability,
         streams=streams,
+        burst=scenario.faults.burst_params(),
     )
 
     deployment = Deployment(
@@ -151,6 +154,12 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
              if isinstance(agent, StaticRoutingAgent)},
             topology,
             sink=scenario.sink_id,
+        )
+
+    if scenario.faults.churn_enabled:
+        plan = FaultPlan.from_scenario(scenario)
+        deployment.fault_runtime = FaultRuntime(
+            plan, deployment.nodes, deployment.apps, adjacency=topology.adjacency()
         )
 
     return deployment

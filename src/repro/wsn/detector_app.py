@@ -61,12 +61,49 @@ class DistributedDetectorApp:
         self._broadcast(message)
 
     # ------------------------------------------------------------------
+    # Fault model
+    # ------------------------------------------------------------------
+    def crash_reset(self) -> None:
+        """Reboot after a crash: RAM is gone, so the sliding window, the
+        detector's holdings and the per-link shared-knowledge bookkeeping
+        are all cleared.
+
+        The eviction goes through the detector's regular data-change event
+        (so indexes and score caches stay consistent) and the neighborhood
+        is emptied, but no message is broadcast -- a rebooting mote has
+        nothing to say.  Repair happens through the protocol's own
+        neighborhood-change event (iv): the fault runtime re-announces the
+        links, which resets shared knowledge on both sides and triggers the
+        re-negotiation the paper prescribes for churn.
+        """
+        self.window = SlidingWindow(self.window.length)
+        expired = self.detector.expired_holdings(float("inf"))
+        if expired:
+            self.detector.update_local_data([], expired)
+        self.detector.neighborhood_changed(())
+
+    def neighborhood_changed(self, neighbors) -> None:
+        """Protocol event (iv): the live immediate neighborhood changed.
+
+        Delivered by the fault runtime when a neighbor crashes, sleeps or
+        comes back (idealised link-layer failure detection).  The detector's
+        repair message, if any, is broadcast like any other reply.
+        """
+        self._broadcast(self.detector.neighborhood_changed(neighbors))
+
+    # ------------------------------------------------------------------
     # Packet handling
     # ------------------------------------------------------------------
     def handle_packet(self, node: SimNode, packet: Packet) -> bool:
         if packet.kind != PacketKind.APP_BROADCAST:
             return False
         message: OutlierMessage = packet.payload
+        if not self.detector.is_neighbor(message.sender):
+            # Under churn a packet can be in flight when its sender's link
+            # is declared down; the detector would (rightly) treat points
+            # from a non-neighbor as a protocol violation, so the stale
+            # packet is dropped at the application boundary instead.
+            return True
         reply = self.detector.receive(message)
         self._broadcast(reply)
         return True

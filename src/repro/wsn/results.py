@@ -53,6 +53,11 @@ class SimulationResult:
         deeper post-hoc analysis.
     protocol_stats:
         Per-node protocol counters (events, points sent/received, ...).
+    fault_stats:
+        Per-node availability counters when the scenario ran a fault model
+        with churn (samples taken/skipped, downtime, planned availability);
+        empty -- and absent from the JSON encoding -- for fault-free runs,
+        so their encodings are byte-identical to pre-fault-subsystem ones.
     events_executed:
         Number of discrete events the simulator processed.
     wallclock_seconds:
@@ -66,6 +71,7 @@ class SimulationResult:
     estimates: Dict[int, Set[RestKey]] = field(default_factory=dict)
     references: Dict[int, Set[RestKey]] = field(default_factory=dict)
     protocol_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    fault_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
     events_executed: int = 0
     wallclock_seconds: float = 0.0
 
@@ -73,9 +79,18 @@ class SimulationResult:
     def label(self) -> str:
         return self.scenario.label()
 
+    @property
+    def mean_availability(self) -> float:
+        """Average planned per-node availability (1.0 without a fault model)."""
+        if not self.fault_stats:
+            return 1.0
+        return sum(s["availability"] for s in self.fault_stats.values()) / len(
+            self.fault_stats
+        )
+
     def summary(self) -> Dict[str, float]:
         """Headline numbers for quick inspection and report tables."""
-        return {
+        summary = {
             "avg_tx_per_round": self.energy.average_per_node_per_round("tx_joules"),
             "avg_rx_per_round": self.energy.average_per_node_per_round("rx_joules"),
             "avg_total_per_round": self.energy.average_per_node_per_round("total_joules"),
@@ -86,6 +101,12 @@ class SimulationResult:
             "transmissions": float(self.channel.transmissions),
             "events": float(self.events_executed),
         }
+        if self.fault_stats:
+            summary["mean_availability"] = self.mean_availability
+            summary["samples_skipped"] = float(
+                sum(s["samples_skipped"] for s in self.fault_stats.values())
+            )
+        return summary
 
     # ------------------------------------------------------------------
     # JSON serialisation
@@ -93,7 +114,7 @@ class SimulationResult:
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-safe encoding of the complete result (sets become sorted
         lists, integer keys become strings, so the encoding is canonical)."""
-        return {
+        payload: Dict[str, Any] = {
             "scenario": self.scenario.to_json_dict(),
             "energy": {
                 "rounds": self.energy.rounds,
@@ -120,6 +141,15 @@ class SimulationResult:
             "events_executed": self.events_executed,
             "wallclock_seconds": self.wallclock_seconds,
         }
+        if self.fault_stats:
+            # Key present only for fault-model runs: fault-free encodings
+            # stay byte-identical to those written before the subsystem
+            # existed (and to the determinism goldens stated over them).
+            payload["fault_stats"] = {
+                str(n): dict(sorted(stats.items()))
+                for n, stats in sorted(self.fault_stats.items())
+            }
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
@@ -148,6 +178,12 @@ class SimulationResult:
             protocol_stats={
                 int(n): {k: int(v) for k, v in stats.items()}
                 for n, stats in data["protocol_stats"].items()
+            },
+            # Values are kept exactly as decoded (ints stay ints, floats
+            # floats) so a store round-trip re-encodes byte-identically.
+            fault_stats={
+                int(n): dict(stats)
+                for n, stats in data.get("fault_stats", {}).items()
             },
             events_executed=int(data["events_executed"]),
             wallclock_seconds=float(data["wallclock_seconds"]),

@@ -33,11 +33,19 @@ __all__ = [
 
 def schedule_workload(deployment: Deployment) -> None:
     """Schedule every sampling event (and, for the centralized baseline, the
-    sink's per-round outlier publication) on the deployment's simulator."""
+    sink's per-round outlier publication) on the deployment's simulator.
+
+    With a fault model engaged, samples are routed through the fault
+    runtime's availability guard (a down node misses its round) and the
+    plan's power transitions are queued as
+    :attr:`~repro.simulator.events.EventPriority.FAULT`-priority events;
+    without one, the schedule is exactly the pre-fault-subsystem schedule.
+    """
     scenario = deployment.scenario
     dataset = deployment.dataset
     simulator = deployment.simulator
     period = scenario.sampling_period
+    fault_runtime = deployment.fault_runtime
 
     for round_index in range(scenario.rounds):
         base_time = round_index * period
@@ -46,12 +54,17 @@ def schedule_workload(deployment: Deployment) -> None:
             app = deployment.apps[node_id]
             # A tiny deterministic per-node offset keeps simultaneous events
             # ordered consistently without materially shifting the schedule.
-            simulator.schedule_at(
-                base_time + offset * 1e-4,
-                app.sample,
-                samples[node_id],
-                name=f"sample-r{round_index}-n{node_id}",
-            )
+            when = base_time + offset * 1e-4
+            name = f"sample-r{round_index}-n{node_id}"
+            if fault_runtime is not None:
+                simulator.schedule_at(
+                    when, fault_runtime.sample_or_skip, node_id,
+                    samples[node_id], name=name,
+                )
+            else:
+                simulator.schedule_at(
+                    when, app.sample, samples[node_id], name=name,
+                )
         sink_app = deployment.sink_app
         if sink_app is not None:
             simulator.schedule_at(
@@ -59,6 +72,9 @@ def schedule_workload(deployment: Deployment) -> None:
                 sink_app.publish_outliers,
                 name=f"publish-r{round_index}",
             )
+
+    if fault_runtime is not None:
+        fault_runtime.schedule(simulator)
 
 
 def _final_references(
@@ -107,6 +123,16 @@ def run_scenario(
 
     final_index = scenario.rounds - 1
     final_windows = data.windows(final_index, scenario.detection.window_length)
+    if deployment.fault_runtime is not None:
+        # A sample a down node never took does not exist anywhere in the
+        # network; the reference answer ("what should the nodes have
+        # converged to?") is therefore stated over the data that actually
+        # entered the network, not over the dataset's counterfactual.
+        skipped = deployment.fault_runtime.skipped_keys
+        final_windows = {
+            node_id: [p for p in points if (p.origin, p.epoch) not in skipped]
+            for node_id, points in final_windows.items()
+        }
     references = _final_references(deployment, final_windows)
     estimates = {
         node_id: app.estimate() for node_id, app in deployment.apps.items()
@@ -122,6 +148,12 @@ def run_scenario(
         for node_id, detector in deployment.detectors.items()
     }
 
+    fault_stats = (
+        deployment.fault_runtime.stats()
+        if deployment.fault_runtime is not None
+        else {}
+    )
+
     return SimulationResult(
         scenario=scenario,
         energy=energy,
@@ -130,6 +162,7 @@ def run_scenario(
         estimates={n: normalise(e) for n, e in estimates.items()},
         references={n: normalise(r) for n, r in references.items()},
         protocol_stats=protocol_stats,
+        fault_stats=fault_stats,
         events_executed=deployment.simulator.events_executed,
         wallclock_seconds=time.perf_counter() - started,
     )

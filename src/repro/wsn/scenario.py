@@ -3,8 +3,10 @@
 A :class:`ScenarioConfig` fully describes one simulation run: the detection
 algorithm and its parameters (a :class:`~repro.core.config.DetectionConfig`),
 the deployment (node count, terrain, radio range), the workload (number of
-sampling rounds, sampling period, anomaly injection, missing data) and the
-channel conditions (packet-loss probability), plus the random seed.
+sampling rounds, sampling period, anomaly injection, missing data), the
+channel conditions (packet-loss probability) and the fault model (node
+churn, duty-cycle sleep, burst loss, permanent sensor faults -- a
+:class:`~repro.wsn.faults.FaultConfig`), plus the random seed.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from ..datasets.layout import (
 )
 from ..datasets.loader import DatasetConfig
 from ..datasets.outlier_injection import InjectionConfig
+from .faults import FaultConfig
 
 __all__ = ["ScenarioConfig"]
 
@@ -57,6 +60,11 @@ class ScenarioConfig:
         weighted metrics a genuinely multi-dimensional workload.  ``0``
         (default) reproduces the paper's ``(temperature, x, y)`` points
         bit-for-bit.
+    faults:
+        Fault-and-churn model (node crash/recovery, duty-cycle sleep,
+        Gilbert-Elliott burst loss, permanent sensor faults).  The default
+        configuration disables every fault and keeps the run byte-identical
+        to a pre-fault-subsystem scenario.
     seed:
         Master random seed for the run.
     """
@@ -73,6 +81,7 @@ class ScenarioConfig:
     missing_probability: float = 0.03
     injection: InjectionConfig = field(default_factory=InjectionConfig)
     extra_channels: int = 0
+    faults: FaultConfig = field(default_factory=FaultConfig)
     broadcast_jitter: float = 0.05
     seed: int = 0
 
@@ -127,8 +136,11 @@ class ScenarioConfig:
             imputation_window=self.detection.window_length,
             injection=self.injection,
             extra_channels=self.extra_channels,
+            node_stuck_probability=self.faults.sensor_stuck_probability,
+            node_drift_probability=self.faults.sensor_drift_probability,
             field_seed=self.seed,
             missing_seed=self.seed + 1,
+            node_fault_seed=self.seed + 2,
         )
 
     # ------------------------------------------------------------------
@@ -156,13 +168,17 @@ class ScenarioConfig:
         payload = dict(data)
         detection = DetectionConfig(**payload.pop("detection"))
         injection = InjectionConfig(**payload.pop("injection"))
-        return cls(detection=detection, injection=injection, **payload)
+        faults = FaultConfig(**payload.pop("faults"))
+        return cls(detection=detection, injection=injection, faults=faults, **payload)
 
     def with_detection(self, detection: DetectionConfig) -> "ScenarioConfig":
         return replace(self, detection=detection)
 
     def with_seed(self, seed: int) -> "ScenarioConfig":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: FaultConfig) -> "ScenarioConfig":
+        return replace(self, faults=faults)
 
     def label(self) -> str:
         """Plot label (delegates to the detection configuration)."""

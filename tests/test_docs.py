@@ -1,0 +1,72 @@
+"""Executable-docs suite: every fenced python snippet in README.md and
+docs/*.md must run against the current API, and every relative link must
+resolve.  This is the same check CI's ``docs`` job runs via
+``tools/check_docs.py`` -- wired into tier-1 so drift fails locally first.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+def test_docs_exist():
+    files = check_docs.markdown_files()
+    names = {path.name for path in files}
+    assert "README.md" in names
+    assert {"ARCHITECTURE.md", "SCENARIOS.md", "BENCHMARKS.md"} <= names
+
+
+def test_relative_links_resolve():
+    assert check_docs.check_links(check_docs.markdown_files()) == []
+
+
+def test_no_run_marker_exempts_a_snippet(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "```python\n# doc-snippet: no-run\nraise SystemExit(1)\n```\n"
+        "\n"
+        "```python\nprint('runs')\n```\n"
+    )
+    snippets = check_docs.python_snippets(page)
+    assert len(snippets) == 1
+    assert "print('runs')" in snippets[0][1]
+
+
+def test_broken_relative_link_is_reported(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](does/not/exist.md)\n")
+    failures = check_docs.check_links([page])
+    assert len(failures) == 1
+    assert "does/not/exist.md" in failures[0]
+
+
+def _snippet_cases():
+    for path in check_docs.markdown_files():
+        for line, code in check_docs.python_snippets(path):
+            yield pytest.param(
+                path, line, code, id=f"{path.name}:{line}"
+            )
+
+
+@pytest.mark.parametrize("path,line,code", list(_snippet_cases()))
+def test_snippet_executes(path, line, code):
+    ok, message = check_docs.run_snippet(path, line, code)
+    assert ok, message

@@ -1,0 +1,45 @@
+"""Smoke-run every narrative script in ``examples/`` on the tiny profile.
+
+The examples are documentation that executes; this suite (and CI's
+``docs`` job) keeps them from drifting away from the current API.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_are_discovered():
+    assert {path.name for path in EXAMPLES} >= {
+        "quickstart.py",
+        "streaming_updates.py",
+        "energy_comparison.py",
+        "acoustic_cleansing.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env["REPRO_BENCH_PROFILE"] = "tiny"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples narrate: stdout must not be empty"

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Executable-docs checker: docs that rot fail the build.
+
+Two checks over ``README.md`` and every ``docs/*.md``:
+
+1. **Snippet execution** -- every fenced ```` ```python ```` block is
+   written to a temp file and executed with the repo's ``src`` on
+   ``PYTHONPATH``; a non-zero exit fails the check.  A block whose first
+   line is ``# doc-snippet: no-run`` is skipped (for deliberately partial
+   fragments); everything else must actually run, so every Python example
+   in the docs is continuously proven against the current API.
+2. **Relative links** -- every markdown link target that is not an
+   ``http(s)``/``mailto`` URL or a pure anchor must exist on disk relative
+   to the file containing it.
+
+Run from the repository root (CI's ``docs`` job does)::
+
+    python tools/check_docs.py            # check everything
+    python tools/check_docs.py --links-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Marker exempting one fenced block from execution.
+NO_RUN_MARKER = "# doc-snippet: no-run"
+
+FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def python_snippets(path: Path) -> List[Tuple[int, str]]:
+    """``(line_number, code)`` of every executable python block in ``path``."""
+    text = path.read_text()
+    snippets = []
+    for match in FENCE_RE.finditer(text):
+        code = match.group(1)
+        first_line = code.lstrip("\n").splitlines()[0:1]
+        if first_line and first_line[0].strip() == NO_RUN_MARKER:
+            continue
+        line = text.count("\n", 0, match.start()) + 2  # first code line
+        snippets.append((line, code))
+    return snippets
+
+
+def run_snippet(source: Path, line: int, code: str) -> Tuple[bool, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", prefix="doc_snippet_", delete=False
+    ) as handle:
+        handle.write(code)
+        temp_path = handle.name
+    try:
+        completed = subprocess.run(
+            [sys.executable, temp_path],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+    finally:
+        os.unlink(temp_path)
+    if completed.returncode != 0:
+        return False, (
+            f"{source.relative_to(REPO_ROOT)}:{line}: snippet failed "
+            f"(exit {completed.returncode})\n{completed.stderr.strip()}"
+        )
+    return True, ""
+
+
+def check_snippets(files: List[Path]) -> List[str]:
+    failures = []
+    for path in files:
+        for line, code in python_snippets(path):
+            ok, message = run_snippet(path, line, code)
+            if not ok:
+                failures.append(message)
+            else:
+                print(f"ok: {path.relative_to(REPO_ROOT)}:{line}")
+    return failures
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:  # outside the repo (e.g. a test's tmp dir)
+        return str(path)
+
+
+def check_links(files: List[Path]) -> List[str]:
+    failures = []
+    for path in files:
+        for match in LINK_RE.finditer(path.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(f"{_display(path)}: broken link -> {target}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only", action="store_true", help="skip snippet execution"
+    )
+    args = parser.parse_args(argv)
+
+    files = markdown_files()
+    failures = check_links(files)
+    if not args.links_only:
+        failures.extend(check_snippets(files))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} docs check(s) failed", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(files)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
