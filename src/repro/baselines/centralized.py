@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..core.batch import EventBatch
 from ..core.index import NeighborhoodIndex
 from ..core.outliers import OutlierQuery
 from ..core.points import DataPoint
@@ -37,10 +38,15 @@ class CentralizedAggregator:
     recomputes the global outlier set on demand.  With ``indexed=True``
     (default) the union of all windows is mirrored in an incremental
     neighborhood index; ``indexed=False`` preserves the full-recompute
-    reference behavior.
+    reference behavior.  With ``batched=True`` (default, only meaningful
+    when indexed) each window upload's diff is applied to the index as one
+    :class:`~repro.core.batch.EventBatch` instead of point by point --
+    results are identical, only the dispatch is amortized.
     """
 
-    def __init__(self, query: OutlierQuery, indexed: bool = True) -> None:
+    def __init__(
+        self, query: OutlierQuery, indexed: bool = True, batched: bool = True
+    ) -> None:
         self.query = query
         self._windows: Dict[int, Set[DataPoint]] = {}
         #: Number of reporting windows containing each union point; a point
@@ -57,6 +63,7 @@ class CentralizedAggregator:
             if self._index is not None
             else None
         )
+        self._batched = bool(batched) and self._index is not None
         self.updates_received = 0
 
     # ------------------------------------------------------------------
@@ -71,28 +78,41 @@ class CentralizedAggregator:
         fresh = {p for p in points}
         previous = self._windows.get(int(node_id), set())
         self._windows[int(node_id)] = fresh
+        batch = EventBatch() if self._batched else None
         for point in fresh - previous:
             self._multiplicity[point] += 1
-            if self._multiplicity[point] == 1 and self._index is not None:
-                self._index.add(point)
+            if self._multiplicity[point] == 1:
+                if batch is not None:
+                    batch.adds.append(point)
+                elif self._index is not None:
+                    self._index.add(point)
         for point in previous - fresh:
-            self._release(point)
+            self._release(point, batch)
+        if batch:
+            self._index.apply_batch(batch)
         self.updates_received += 1
 
     def forget(self, node_id: int) -> None:
         """Drop a sensor's contribution (e.g. when it leaves the network)."""
         previous = self._windows.pop(int(node_id), None)
         if previous:
+            batch = EventBatch() if self._batched else None
             for point in previous:
-                self._release(point)
+                self._release(point, batch)
+            if batch:
+                self._index.apply_batch(batch)
 
-    def _release(self, point: DataPoint) -> None:
+    def _release(
+        self, point: DataPoint, batch: Optional[EventBatch] = None
+    ) -> None:
         remaining = self._multiplicity[point] - 1
         if remaining > 0:
             self._multiplicity[point] = remaining
         else:
             del self._multiplicity[point]
-            if self._index is not None:
+            if batch is not None:
+                batch.evicts.append(point)
+            elif self._index is not None:
                 self._index.discard(point)
 
     # ------------------------------------------------------------------

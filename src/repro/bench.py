@@ -55,17 +55,24 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_WINDOWS",
     "QUICK_WINDOWS",
+    "DEFAULT_BATCH_SIZES",
     "steady_state_detector",
     "measure_event_latency",
+    "measure_batched_latency",
     "run_hotpath_bench",
     "render_hotpath_table",
+    "render_regression_report",
     "run_e2e_bench",
     "write_bench_artifacts",
     "check_speedup_floor",
+    "check_batched_floor",
 ]
 
 #: Bump when the artifact layout changes incompatibly.
-BENCH_SCHEMA = 1
+#: History: 2 -- batched event application added ``batched_ms`` /
+#: ``batched_speedup`` / ``batch_size`` / ``batch_sweep`` /
+#: ``events_batched`` to every hotpath row.
+BENCH_SCHEMA = 2
 
 #: Window sizes of the full hotpath sweep (matches ``results/hotpath.txt``).
 DEFAULT_WINDOWS: Tuple[int, ...] = (64, 256, 1024)
@@ -73,6 +80,12 @@ DEFAULT_WINDOWS: Tuple[int, ...] = (64, 256, 1024)
 #: Window sizes of the CI-friendly ``--quick`` sweep.  256 is included
 #: because the perf-smoke regression floor is evaluated there.
 QUICK_WINDOWS: Tuple[int, ...] = (64, 256)
+
+#: Events-per-tick sweep of the batched path (1 mirrors the steady-state
+#: tick; 64 is the headline amortization, roughly a received message or a
+#: coarse sampling tick).  Sizes larger than the window are skipped per
+#: window so the sliding-window workload stays well formed.
+DEFAULT_BATCH_SIZES: Tuple[int, ...] = (1, 4, 16, 64)
 
 #: Measured events per (indexed, window).  The brute path at n=1024 runs
 #: ~100 ms per event, so the counts are asymmetric to bound runtime.
@@ -93,10 +106,15 @@ def _events_for(window: int, indexed: bool, events: Optional[int]) -> int:
     return max(4, min(60, 4096 // max(window, 1)))
 
 
-def steady_state_detector(window: int, indexed: bool, events: int):
+def steady_state_detector(window: int, indexed: bool, events: int, batched: bool = False):
     """A detector holding ``window`` points plus the stream that keeps it
     there: the shared harness of the hotpath benchmark and the pytest
-    micro-benchmark (``benchmarks/test_bench_hotpath.py``)."""
+    micro-benchmark (``benchmarks/test_bench_hotpath.py``).
+
+    ``batched`` defaults to ``False`` so the per-event measurements keep
+    pinning the established per-point index path; the batched measurements
+    opt in explicitly.
+    """
     from .core import (
         AverageKNNDistance,
         GlobalOutlierDetector,
@@ -106,7 +124,9 @@ def steady_state_detector(window: int, indexed: bool, events: int):
 
     rng = random.Random(1234)
     query = OutlierQuery(AverageKNNDistance(k=4), n=4)
-    detector = GlobalOutlierDetector(0, query, neighbors=[1, 2], indexed=indexed)
+    detector = GlobalOutlierDetector(
+        0, query, neighbors=[1, 2], indexed=indexed, batched=batched
+    )
     stream = [
         make_point(
             [rng.gauss(20.0, 1.0), rng.uniform(0, 50), rng.uniform(0, 50)],
@@ -146,24 +166,92 @@ def measure_event_latency(
     return best, count
 
 
+def measure_batched_latency(
+    window: int, batch_size: int, events: Optional[int] = None
+) -> Tuple[float, int]:
+    """Amortized per-event latency in seconds of the *batched* steady-state
+    loop, plus the number of measured events.
+
+    Same workload and chunked-min convention as
+    :func:`measure_event_latency`, but the stream is applied ``batch_size``
+    events per ``update_local_data`` call (one tick expiring ``batch_size``
+    points while adding ``batch_size`` fresh ones), so one
+    :class:`~repro.core.batch.EventBatch` and one rescoring pass cover the
+    whole group.  The reported latency is per *event*, so it is directly
+    comparable to the per-event numbers.
+    """
+    batch_size = max(1, min(int(batch_size), window))
+    count = _events_for(window, True, events)
+    # Enough events for several whole batches, whatever the tick size.
+    count = max(count, batch_size * 4)
+    count -= count % batch_size
+    detector, stream = steady_state_detector(window, True, count, batched=True)
+    batches = count // batch_size
+    chunk = max(1, batches // 4)
+    best = float("inf")
+    done = 0
+    while done < batches:
+        size = min(chunk, batches - done)
+        started = time.perf_counter()
+        for b in range(done, done + size):
+            start = b * batch_size
+            stop = start + batch_size
+            detector.update_local_data(
+                stream[window + start : window + stop], stream[start:stop]
+            )
+        best = min(best, (time.perf_counter() - started) / (size * batch_size))
+        done += size
+    return best, count
+
+
 def run_hotpath_bench(
     windows: Sequence[int] = DEFAULT_WINDOWS,
     events: Optional[int] = None,
     quick: bool = False,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
 ) -> Dict:
-    """Measure the hotpath sweep and return the ``BENCH_hotpath`` payload."""
+    """Measure the hotpath sweep and return the ``BENCH_hotpath`` payload.
+
+    Each window row carries the per-event indexed/rebuild pair plus a
+    ``batch_sweep`` over ``batch_sizes`` (sizes larger than the window are
+    skipped); the headline ``batched_ms`` is the largest swept batch size,
+    and ``batched_speedup`` compares it against the per-event indexed path
+    (the PR it replaced), not against the brute-force rebuild.
+    """
     rows: List[Dict] = []
     for window in windows:
         indexed_s, indexed_events = measure_event_latency(window, True, events)
         rebuild_s, rebuild_events = measure_event_latency(window, False, events)
+        sweep: List[Dict] = []
+        events_batched = 0
+        for batch_size in batch_sizes:
+            if batch_size > window:
+                continue
+            batched_s, batched_events = measure_batched_latency(
+                window, batch_size, events
+            )
+            events_batched = max(events_batched, batched_events)
+            sweep.append(
+                {
+                    "batch_size": int(batch_size),
+                    "batched_ms": batched_s * 1e3,
+                    "speedup": indexed_s / batched_s,
+                }
+            )
+        headline = sweep[-1] if sweep else None
         rows.append(
             {
                 "window": int(window),
                 "indexed_ms": indexed_s * 1e3,
                 "rebuild_ms": rebuild_s * 1e3,
                 "speedup": rebuild_s / indexed_s,
+                "batched_ms": headline["batched_ms"] if headline else None,
+                "batch_size": headline["batch_size"] if headline else None,
+                "batched_speedup": headline["speedup"] if headline else None,
+                "batch_sweep": sweep,
                 "events_indexed": indexed_events,
                 "events_rebuild": rebuild_events,
+                "events_batched": events_batched,
             }
         )
     return {
@@ -178,14 +266,73 @@ def run_hotpath_bench(
 def render_hotpath_table(payload: Dict) -> str:
     """The human-readable table mirrored to ``results/hotpath.txt``."""
     lines = [
-        "Per-event detector latency (steady window, 1 add + 1 evict)",
+        "Per-event detector latency (steady window, 1 add + 1 evict; "
+        "batched = adds/evicts grouped per tick, amortized per event)",
         "",
-        f"{'window':>8} {'indexed ms':>12} {'rebuild ms':>12} {'speedup':>9}",
+        f"{'window':>8} {'indexed ms':>12} {'rebuild ms':>12} {'speedup':>9} "
+        f"{'batched ms':>12} {'batch x':>9}",
     ]
     for row in payload["windows"]:
+        batched_ms = row.get("batched_ms")
+        batched_speedup = row.get("batched_speedup")
+        if batched_ms is None:
+            batched_cell = f"{'-':>12} {'-':>9}"
+        else:
+            batched_cell = f"{batched_ms:>12.3f} {batched_speedup:>8.1f}x"
         lines.append(
             f"{row['window']:>8} {row['indexed_ms']:>12.3f} "
-            f"{row['rebuild_ms']:>12.3f} {row['speedup']:>8.1f}x"
+            f"{row['rebuild_ms']:>12.3f} {row['speedup']:>8.1f}x "
+            + batched_cell
+        )
+    sizes = sorted(
+        {
+            entry["batch_size"]
+            for row in payload["windows"]
+            for entry in row.get("batch_sweep", ())
+        }
+    )
+    if sizes:
+        lines += [
+            "",
+            f"batch sweep (events per tick): {', '.join(str(s) for s in sizes)}; "
+            "the batched column reports the largest size swept per window,",
+            "its speedup is relative to the per-event indexed path.",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def render_regression_report(baseline: Dict, current: Dict) -> str:
+    """Readable old-vs-new per-window comparison for a failed perf guard.
+
+    ``baseline`` is a previously committed ``BENCH_hotpath.json`` (any
+    schema -- missing batched fields render as ``-``); ``current`` is the
+    payload that violated the floor.  CI prints this instead of a bare
+    assert so a regression shows *which* window and *which* path moved.
+    """
+
+    def by_window(payload: Dict) -> Dict[int, Dict]:
+        return {row["window"]: row for row in payload.get("windows", ())}
+
+    old_rows = by_window(baseline)
+    new_rows = by_window(current)
+
+    def cell(row: Optional[Dict], key: str, suffix: str = "") -> str:
+        value = row.get(key) if row else None
+        return f"{value:.3f}{suffix}" if value is not None else "-"
+
+    lines = [
+        "perf regression report (baseline -> current, per-event ms)",
+        "",
+        f"{'window':>8} {'indexed ms':>20} {'batched ms':>20} {'speedup':>18}",
+    ]
+    for window in sorted(set(old_rows) | set(new_rows)):
+        old = old_rows.get(window)
+        new = new_rows.get(window)
+        lines.append(
+            f"{window:>8} "
+            f"{cell(old, 'indexed_ms') + ' -> ' + cell(new, 'indexed_ms'):>20} "
+            f"{cell(old, 'batched_ms') + ' -> ' + cell(new, 'batched_ms'):>20} "
+            f"{cell(old, 'speedup', 'x') + ' -> ' + cell(new, 'speedup', 'x'):>18}"
         )
     return "\n".join(lines) + "\n"
 
@@ -289,5 +436,34 @@ def check_speedup_floor(
             )
     return False, (
         f"perf guard error: window {floor_window} not in the measured sweep "
+        f"{[row['window'] for row in hotpath['windows']]}"
+    )
+
+
+def check_batched_floor(
+    hotpath: Dict, floor: float, floor_window: int
+) -> Tuple[bool, str]:
+    """Regression guard for the batch path: the amortized batched speedup
+    over the per-event indexed path at ``floor_window`` must be at least
+    ``floor``.  Same never-vacuous contract as :func:`check_speedup_floor`
+    (a missing window *or* a row without batched measurements fails).
+    """
+    for row in hotpath["windows"]:
+        if row["window"] == floor_window:
+            speedup = row.get("batched_speedup")
+            if speedup is None:
+                return False, (
+                    f"batch guard error: window {floor_window} carries no "
+                    f"batched measurement (batch sweep empty?)"
+                )
+            ok = speedup >= floor
+            verdict = "ok" if ok else "REGRESSION"
+            return ok, (
+                f"batch guard {verdict}: batched speedup {speedup:.1f}x at "
+                f"window {floor_window} (floor {floor:.1f}x, batch size "
+                f"{row.get('batch_size')})"
+            )
+    return False, (
+        f"batch guard error: window {floor_window} not in the measured sweep "
         f"{[row['window'] for row in hotpath['windows']]}"
     )

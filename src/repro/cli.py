@@ -54,6 +54,7 @@ import json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .core.config import Algorithm, DetectionConfig
@@ -127,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         "full-recompute reference path (same results, slower; for "
         "cross-checking)",
     )
+    run.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable batched event application and mutate the index one "
+        "point at a time (same results, slower; for cross-checking the "
+        "batch path)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a figure of the paper")
     figure.add_argument(
@@ -187,6 +195,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="window size the --check floor is evaluated at (default: 256)",
+    )
+    bench.add_argument(
+        "--batch-sizes",
+        metavar="CSV",
+        default=None,
+        help="comma-separated events-per-tick sweep for the batched path "
+        "(default: 1,4,16,64; sizes above a window are skipped there)",
+    )
+    bench.add_argument(
+        "--batch-floor",
+        type=float,
+        default=None,
+        help="with --check, also require the amortized batched speedup "
+        "over the per-event indexed path at --floor-window to be at "
+        "least this (default: no batch floor)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="JSON",
+        default=None,
+        help="previously committed BENCH_hotpath.json; on a --check "
+        "failure a readable old-vs-new per-window report is printed "
+        "instead of the bare verdict",
     )
 
     sweep = sub.add_parser(
@@ -269,6 +300,7 @@ def _command_run(args: argparse.Namespace) -> int:
             window_length=args.window,
             hop_diameter=args.epsilon,
             indexed=not args.no_index,
+            batched=not args.no_batch,
             metric=args.metric,
             metric_params=metric_params,
         )
@@ -337,10 +369,13 @@ def _command_figure(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     # Imported lazily so the other subcommands stay snappy.
     from .bench import (
+        DEFAULT_BATCH_SIZES,
         DEFAULT_WINDOWS,
         QUICK_WINDOWS,
+        check_batched_floor,
         check_speedup_floor,
         render_hotpath_table,
+        render_regression_report,
         run_e2e_bench,
         run_hotpath_bench,
         write_bench_artifacts,
@@ -361,7 +396,25 @@ def _command_bench(args: argparse.Namespace) -> int:
     else:
         windows = QUICK_WINDOWS if args.quick else DEFAULT_WINDOWS
 
-    hotpath = run_hotpath_bench(windows, events=args.events, quick=args.quick)
+    if args.batch_sizes:
+        try:
+            batch_sizes = tuple(
+                int(token) for token in args.batch_sizes.split(",") if token.strip()
+            )
+        except ValueError:
+            print(f"error: --batch-sizes must be a CSV of integers, got "
+                  f"{args.batch_sizes!r}", file=sys.stderr)
+            return 2
+        if not batch_sizes or any(b < 1 for b in batch_sizes):
+            print("error: --batch-sizes needs at least one size >= 1",
+                  file=sys.stderr)
+            return 2
+    else:
+        batch_sizes = DEFAULT_BATCH_SIZES
+
+    hotpath = run_hotpath_bench(
+        windows, events=args.events, quick=args.quick, batch_sizes=batch_sizes
+    )
     print(render_hotpath_table(hotpath))
     e2e = None
     if not args.skip_e2e:
@@ -381,7 +434,20 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.check:
         ok, message = check_speedup_floor(hotpath, args.floor, args.floor_window)
         print(message)
+        if ok and args.batch_floor is not None:
+            ok, message = check_batched_floor(
+                hotpath, args.batch_floor, args.floor_window
+            )
+            print(message)
         if not ok:
+            if args.baseline:
+                try:
+                    baseline = json.loads(Path(args.baseline).read_text())
+                except (OSError, ValueError) as error:
+                    print(f"(baseline {args.baseline!r} unreadable: {error})")
+                else:
+                    print()
+                    print(render_regression_report(baseline, hotpath))
             return 1
     return 0
 

@@ -32,6 +32,7 @@ run in-network outlier detection over their own transport:
   :class:`InMemoryNetwork`.
 """
 
+from .batch import EventBatch
 from .config import Algorithm, DetectionConfig
 from .errors import (
     ConfigurationError,
@@ -142,6 +143,7 @@ __all__ = [
     # incremental hot-path engine
     "NeighborhoodIndex",
     "IndexSubset",
+    "EventBatch",
     "ScoreCache",
     # support / sufficiency
     "support_set",

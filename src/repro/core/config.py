@@ -110,6 +110,16 @@ class DetectionConfig:
         ``False`` runs the full-recompute reference implementations.  The
         two settings produce identical results -- the flag only trades CPU
         for the ability to cross-check against the oracle.
+    batched:
+        When ``True`` (default) each protocol event's additions, evictions
+        and hop relabels are applied to the index as one
+        :class:`~repro.core.batch.EventBatch`
+        (:meth:`~repro.core.index.NeighborhoodIndex.apply_batch`), which
+        amortizes the distance-kernel and dirty-marking dispatch over the
+        event; ``False`` keeps the per-point index mutations as the
+        selectable oracle.  Ignored when ``indexed`` is ``False``.  Like
+        ``indexed``, the flag changes no result -- transcripts are
+        byte-identical either way.
     """
 
     algorithm: str = Algorithm.GLOBAL
@@ -121,6 +131,7 @@ class DetectionConfig:
     hop_diameter: int = 1
     semiglobal_variant: str = "refined"
     indexed: bool = True
+    batched: bool = True
     metric: str = "euclidean"
     metric_params: MetricParams = ()
 
@@ -197,6 +208,10 @@ class DetectionConfig:
     def with_indexed(self, indexed: bool) -> "DetectionConfig":
         """Copy of this configuration toggling the incremental index."""
         return replace(self, indexed=indexed)
+
+    def with_batched(self, batched: bool) -> "DetectionConfig":
+        """Copy of this configuration toggling batched event application."""
+        return replace(self, batched=batched)
 
     def with_metric(self, metric: str, **metric_params: Any) -> "DetectionConfig":
         """Copy of this configuration under a different metric space."""

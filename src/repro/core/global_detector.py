@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+from .batch import EventBatch
 from .errors import ProtocolError
 from .index import NeighborhoodIndex
 from .interfaces import OutlierDetector
@@ -56,6 +57,15 @@ class GlobalOutlierDetector(OutlierDetector):
         sorted-neighbor lists.  ``False`` selects the full-recompute
         brute-force path (the reference oracle); both produce identical
         protocol transcripts.
+    batched:
+        When ``True`` (default) each protocol event's additions and
+        evictions are applied to the index as one
+        :class:`~repro.core.batch.EventBatch` via
+        :meth:`~repro.core.index.NeighborhoodIndex.apply_batch`, amortizing
+        the distance-kernel and dirty-marking dispatch over the whole
+        event.  ``False`` keeps the per-point mutations (the established
+        oracle for the batch path).  Ignored when ``indexed`` is ``False``;
+        transcripts are identical either way.
 
     Examples
     --------
@@ -76,6 +86,7 @@ class GlobalOutlierDetector(OutlierDetector):
         query: OutlierQuery,
         neighbors: Iterable[int] = (),
         indexed: bool = True,
+        batched: bool = True,
     ) -> None:
         super().__init__(sensor_id, query, neighbors)
         self._local: Set[DataPoint] = set()
@@ -97,6 +108,7 @@ class GlobalOutlierDetector(OutlierDetector):
             if self._index is not None
             else None
         )
+        self._batched = bool(batched) and self._index is not None
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -131,13 +143,19 @@ class GlobalOutlierDetector(OutlierDetector):
     def add_local_points(
         self, points: Iterable[DataPoint]
     ) -> Optional[OutlierMessage]:
-        if not self._apply_local_additions(points):
+        batch = self._new_batch()
+        changed = self._apply_local_additions(points, batch)
+        self._commit_batch(batch)
+        if not changed:
             return None
         self.stats.events_processed += 1
         return self._process()
 
     def evict_points(self, points: Iterable[DataPoint]) -> Optional[OutlierMessage]:
-        if not self._apply_evictions(points):
+        batch = self._new_batch()
+        changed = self._apply_evictions(points, batch)
+        self._commit_batch(batch)
+        if not changed:
             return None
         self.stats.events_processed += 1
         return self._process()
@@ -147,14 +165,31 @@ class GlobalOutlierDetector(OutlierDetector):
         added: Iterable[DataPoint],
         evicted: Iterable[DataPoint],
     ) -> Optional[OutlierMessage]:
-        changed_evict = self._apply_evictions(evicted)
-        changed_add = self._apply_local_additions(added)
+        # One batch for the whole tick: evictions and arrivals share a
+        # single index application (apply_batch evicts first, exactly like
+        # the sequential order below).
+        batch = self._new_batch()
+        changed_evict = self._apply_evictions(evicted, batch)
+        changed_add = self._apply_local_additions(added, batch)
+        self._commit_batch(batch)
         if not (changed_evict or changed_add):
             return None
         self.stats.events_processed += 1
         return self._process()
 
-    def _apply_local_additions(self, points: Iterable[DataPoint]) -> bool:
+    def _new_batch(self) -> Optional[EventBatch]:
+        """A fresh per-event batch on the batched path, else ``None`` (the
+        appliers then mutate the index point by point, preserving the
+        per-event oracle verbatim)."""
+        return EventBatch() if self._batched else None
+
+    def _commit_batch(self, batch: Optional[EventBatch]) -> None:
+        if batch:
+            self._index.apply_batch(batch)
+
+    def _apply_local_additions(
+        self, points: Iterable[DataPoint], batch: Optional[EventBatch] = None
+    ) -> bool:
         added = False
         for point in points:
             if point.hop != 0:
@@ -164,20 +199,26 @@ class GlobalOutlierDetector(OutlierDetector):
             if point not in self._holdings:
                 self._local.add(point)
                 self._holdings.add(point)
-                if self._index is not None:
+                if batch is not None:
+                    batch.adds.append(point)
+                elif self._index is not None:
                     self._index.add(point)
                 self.stats.local_points_added += 1
                 added = True
         return added
 
-    def _apply_evictions(self, points: Iterable[DataPoint]) -> bool:
+    def _apply_evictions(
+        self, points: Iterable[DataPoint], batch: Optional[EventBatch] = None
+    ) -> bool:
         removal = set(points)
         if not removal:
             return False
         evicted = removal & self._holdings
         self._holdings -= evicted
         self._local -= evicted
-        if self._index is not None:
+        if batch is not None:
+            batch.evicts.extend(evicted)
+        elif self._index is not None:
             for point in evicted:
                 self._index.discard(point)
         # Bookkeeping entries for departed points are dropped from every
@@ -202,15 +243,19 @@ class GlobalOutlierDetector(OutlierDetector):
             return None
         # Only points not already in P_i are added to D_{j,i}; duplicates are
         # ignored exactly as in the paper's update step.
+        batch = self._new_batch()
         for point in delivered:
             if point in self._holdings:
                 self.stats.points_ignored += 1
                 continue
             self._holdings.add(point)
-            if self._index is not None:
+            if batch is not None:
+                batch.adds.append(point)
+            elif self._index is not None:
                 self._index.add(point)
             self._received[sender].add(point)
             self.stats.points_received += 1
+        self._commit_batch(batch)
         self.stats.events_processed += 1
         return self._process()
 

@@ -10,14 +10,14 @@ event; this module maintains it *incrementally*.
 
 :class:`NeighborhoodIndex` is a **flat-array engine**: for every indexed
 point it keeps two parallel, contiguous buffers -- an ``array('d')`` of
-neighbor distances and an ``array('l')`` of the matching slot ids -- sorted
+neighbor distances and an ``array('i')`` of the matching slot ids -- sorted
 by ``(distance, ≺)``, the exact order the brute-force ranking paths use (the
 configured :class:`~repro.core.metrics.Metric`, Euclidean by default, for
 the distance; the fixed total order ``≺`` for ties).  Indexed answers are
 therefore *identical* to the reference computations under every registered
 metric, not approximations, while the per-entry cost drops from a boxed
 ``(float, key, slot)`` tuple (~100 bytes plus allocator churn on every
-insertion) to 16 bytes of raw C doubles/longs moved by ``memmove``:
+insertion) to 12 bytes of raw C doubles/ints moved by ``memmove``:
 
 * :meth:`add` computes one distance row with a single ``metric.rows`` kernel
   call over the maintained *parallel value buffer* (no per-event walk of the
@@ -31,7 +31,15 @@ insertion) to 16 bytes of raw C doubles/longs moved by ``memmove``:
   distance recomputation);
 * :meth:`replace` swaps a held point for a copy with a different ``hop``
   field in ``O(1)`` -- the semi-global detector's ``[·]^min`` merge changes
-  hop counters but never geometry, so the index only relabels the slot.
+  hop counters but never geometry, so the index only relabels the slot;
+* :meth:`apply_batch` applies one :class:`~repro.core.batch.EventBatch`
+  (a whole protocol event's evictions, additions and relabels) in block
+  form: all evictions become one boolean-mask rebuild per surviving array,
+  all additions share a single ``metric.cross``/``metric.pairwise``
+  distance block and are merged into each existing array by one
+  ``searchsorted`` scatter instead of one bisected memmove per pair.  The
+  resulting structure is *identical* -- entry for entry, slot for slot --
+  to applying the same mutations one at a time.
 
 Queries never mutate the index.  Scoring a point against the *full* index
 reads the head of its distance array in ``O(k)`` (``O(1)`` for the k-th
@@ -60,15 +68,46 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from .batch import EventBatch
 from .errors import RankingError
 from .metrics import EUCLIDEAN, Metric
 from .points import DataPoint, RestKey, sort_key
 
-__all__ = ["NeighborhoodIndex", "IndexSubset", "NeighborEntry", "SLOT_DTYPE"]
+__all__ = [
+    "NeighborhoodIndex",
+    "IndexSubset",
+    "NeighborEntry",
+    "SLOT_DTYPE",
+    "SLOT_TYPECODE",
+    "BATCH_BLOCK_THRESHOLD",
+]
 
-#: Numpy dtype matching the ``array('l')`` slot buffers (used to view them
-#: without copying, e.g. by the dirty-set rescoring engine).
-SLOT_DTYPE = np.dtype(f"i{array('l').itemsize}")
+#: Typecode of the slot-id buffers.  C ``int`` (4 bytes on every supported
+#: platform) rather than ``long``: slot ids are bounded by the window size
+#: plus one batch, so 32 bits halves the neighbor-array traffic of the
+#: block splice, which is memory-bound at the paper's window sizes.
+SLOT_TYPECODE = "i"
+
+#: Numpy dtype matching the ``array(SLOT_TYPECODE)`` slot buffers (used to
+#: view them without copying, e.g. by the dirty-set rescoring engine).
+SLOT_DTYPE = np.dtype(f"i{array(SLOT_TYPECODE).itemsize}")
+
+#: ``apply_batch`` routes batches with at most this many additions
+#: (respectively evictions) through the per-point mutations: the block path
+#: costs a fixed number of numpy dispatches per surviving array regardless
+#: of batch size, which only pays for itself once several points share
+#: them.  A typical sampling tick (one arrival, one expiry) stays on the
+#: cheap per-point path; crash resets, received messages and coarse-tick
+#: batches take the block path.
+BATCH_BLOCK_THRESHOLD = 4
+
+#: Row count of the rectangular splice kernel inside the block-addition
+#: path.  Chunks of this many equal-length survivor arrays are merged as one
+#: matrix (a handful of numpy dispatches instead of ~20 per survivor) while
+#: the chunk's working set -- a few hundred KB at the paper's window sizes --
+#: stays cache-resident; whole-index matrices would stream every pass
+#: through memory instead.
+SPLICE_CHUNK_ROWS = 24
 
 #: One neighbor-list entry as exposed by :meth:`NeighborhoodIndex.entries`:
 #: ``(distance, ≺-key of the neighbor, slot)``.  Sequences of these are
@@ -155,7 +194,7 @@ class NeighborhoodIndex:
         #: ``metric.rows`` straight from ``_occ_values`` instead of walking
         #: the point->slot dict per event.  Maintained by O(1) swap-removal;
         #: ``_occ_pos[slot]`` is the slot's position (-1 when free).
-        self._occ_slots: array = array("l")
+        self._occ_slots: array = array(SLOT_TYPECODE)
         self._occ_values: List[Tuple[float, ...]] = []
         self._occ_pos: List[int] = []
         #: Mutation observers (dirty-set rescoring caches).
@@ -224,6 +263,19 @@ class NeighborhoodIndex:
           departed point's arrays, passed before they are freed;
         * ``point_relabeled(slot, old, new)`` -- a hop-only replace.
 
+        Block mutations (:meth:`apply_batch` above the small-batch
+        threshold) are delivered through two *optional* hooks --
+        ``points_added_batch(records, rows_mat, slots_mat)`` and
+        ``points_removed_batch(records)`` with ``records`` a sequence of
+        ``(slot, point, nbr_slots, nbr_dists)`` tuples in application
+        order; observers without them receive the per-point callbacks once
+        per record instead.  ``rows_mat``/``slots_mat`` are either ``None``
+        or the block's shared unsorted distance/slot matrices, whose row
+        ``j`` holds the same entries as record ``j``'s sorted arrays.
+        Removal records are delivered while the departing slots are still
+        labelled (``key_at`` works) but may precede the strip of the
+        surviving arrays.
+
         The arrays are the live internals: observers must only read them and
         must not retain them past the callback.
         """
@@ -272,8 +324,6 @@ class NeighborhoodIndex:
             self._occ_pos.append(-1)
 
         occ_slots = self._occ_slots
-        own_dists = array("d")
-        own_nbrs = array("l")
         if occ_slots:
             # One kernel call for the whole distance row: for the default
             # Euclidean metric that is the same per-pair ``math.dist``
@@ -287,35 +337,9 @@ class NeighborhoodIndex:
                     keep &= slot_row != twin
                 row = row[keep]
                 slot_row = slot_row[keep]
-            # Distance-first order; ties (equal doubles) must then be
-            # re-ordered by ``(≺ key, slot)`` so the arrays match the
-            # brute-force ``(distance, ≺)`` order exactly -- ties are rare
-            # on continuous data, so the common case is a pure C argsort.
-            order = np.argsort(row, kind="stable")
-            sorted_dists = row[order]
-            sorted_slots = slot_row[order]
-            keys = self._keys
-            if len(row) > 1 and bool((sorted_dists[1:] == sorted_dists[:-1]).any()):
-                pairs = sorted(zip(row.tolist(), slot_row.tolist()))
-                i, count = 0, len(pairs)
-                while i < count - 1:
-                    if pairs[i][0] == pairs[i + 1][0]:
-                        tied = pairs[i][0]
-                        j = i + 2
-                        while j < count and pairs[j][0] == tied:
-                            j += 1
-                        run = pairs[i:j]
-                        run.sort(key=lambda p: (keys[p[1]], p[1]))
-                        pairs[i:j] = run
-                        i = j
-                    else:
-                        i += 1
-                own_dists.extend(p[0] for p in pairs)
-                own_nbrs.extend(p[1] for p in pairs)
-            else:
-                own_dists.frombytes(sorted_dists.tobytes())
-                own_nbrs.frombytes(np.ascontiguousarray(sorted_slots).tobytes())
+            own_dists, own_nbrs = self._ordered_arrays(row, slot_row)
             # Splice (distance, slot) into every neighbor's parallel arrays.
+            keys = self._keys
             dists_tbl = self._dists
             nbrs_tbl = self._nbrs
             key_slot = (key, slot)
@@ -335,6 +359,9 @@ class NeighborhoodIndex:
                 on.insert(pos, slot)
             # Release the no-copy view before the buffer is resized below.
             del slot_row
+        else:
+            own_dists = array("d")
+            own_nbrs = array(SLOT_TYPECODE)
         self._slot_of[point] = slot
         self._points[slot] = point
         self._keys[slot] = key
@@ -424,6 +451,650 @@ class NeighborhoodIndex:
         for observer in self._observers:
             observer.point_relabeled(slot, old, new)
         return True
+
+    # ------------------------------------------------------------------
+    # Batched mutations
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: EventBatch) -> Tuple[int, int]:
+        """Apply one :class:`~repro.core.batch.EventBatch` as a unit.
+
+        Order of application is evictions, then additions, then hop
+        relabels (see the batch-formation rules in
+        :mod:`repro.core.batch`); the resulting index -- slot assignments,
+        array contents, free-list order, observer-visible rows -- is
+        *identical* to applying the same mutations one at a time in that
+        order.  Returns ``(points added, points evicted)``.
+
+        Small batches route through the per-point mutations: the block
+        machinery costs a fixed number of numpy dispatches per surviving
+        array regardless of batch size, which only pays for itself once
+        several points share them.  One deliberate divergence: the block
+        path validates the dimension of *every* pending addition before
+        mutating anything, so a mixed-dimension batch raises without the
+        partial application the sequential path would leave behind.
+        """
+        evicts = batch.evicts
+        adds = batch.adds
+        evicted = 0
+        added = 0
+        strip: Optional[np.ndarray] = None
+        if len(evicts) > BATCH_BLOCK_THRESHOLD:
+            # The block eviction defers the survivor-array rebuild: when a
+            # block addition follows (the common tick shape), the departing
+            # entries are stripped during the very same per-survivor rebuild
+            # that splices the new ones in, halving the array traffic.
+            evicted, strip = self._evict_block(evicts)
+        else:
+            for point in evicts:
+                evicted += self.discard(point)
+        if len(adds) > BATCH_BLOCK_THRESHOLD:
+            added = self._add_block(adds, strip)
+        else:
+            if strip is not None:
+                self._strip_block(strip)
+            for point in adds:
+                added += self.add(point)
+        for old, new in batch.replaces:
+            self.replace(old, new)
+        return added, evicted
+
+    def _evict_block(
+        self, evicts: Sequence[DataPoint]
+    ) -> Tuple[int, Optional[np.ndarray]]:
+        """Unregister a batch of points; survivor arrays are *not* touched.
+
+        Performs the bookkeeping half of a block eviction (observer
+        notification, slot freeing, occupied-buffer compaction) and returns
+        ``(count, departing-slot lookup table)``.  The caller owes the
+        survivors one strip pass over that table -- either standalone via
+        :meth:`_strip_block` or fused into :meth:`_add_block`'s rebuild.
+        """
+        departing: List[Tuple[int, DataPoint, array, array]] = []
+        for point in evicts:
+            slot = self._slot_of.pop(point, None)
+            if slot is None:
+                continue
+            departing.append((slot, point, self._nbrs[slot], self._dists[slot]))
+        if not departing:
+            return 0, None
+        # Observers see the departing rows while the slots are still
+        # labelled (the rescoring cache reads ``key_at`` during `_leave`).
+        self._notify_removed(departing)
+        # Free the bookkeeping in eviction order so the free-list and the
+        # compact occupied buffers end up exactly as after sequential
+        # ``discard`` calls (slot reuse must replay identically).
+        for slot, point, _on, _od in departing:
+            key = self._keys[slot]
+            self._points[slot] = None
+            self._keys[slot] = None
+            self._dists[slot] = None
+            self._nbrs[slot] = None
+            self._free.append(slot)
+            pos = self._occ_pos[slot]
+            last_slot = self._occ_slots.pop()
+            last_values = self._occ_values.pop()
+            if last_slot != slot:
+                self._occ_slots[pos] = last_slot
+                self._occ_values[pos] = last_values
+                self._occ_pos[last_slot] = pos
+            self._occ_pos[slot] = -1
+            group = self._key_slots[key]
+            group.discard(slot)
+            if not group:
+                del self._key_slots[key]
+        if not self._occ_slots:
+            return len(departing), None
+        lut = np.zeros(len(self._points), dtype=bool)
+        for entry in departing:
+            lut[entry[0]] = True
+        return len(departing), lut
+
+    def _strip_block(self, lut: np.ndarray) -> None:
+        """Drop departed entries from every surviving array in one pass.
+
+        The sequential path pays one bisect-and-memmove per (departing
+        point, surviving array) pair; here every surviving array is rebuilt
+        once under a boolean keep-mask over the departing-slot lookup
+        table, so the per-pair cost collapses into C-level fancy indexing.
+        Used for eviction-only batches -- mixed batches fuse the strip into
+        :meth:`_add_block`'s per-survivor rebuild instead.
+        """
+        dists_tbl = self._dists
+        nbrs_tbl = self._nbrs
+        keep_lut = ~lut
+        for survivor in self._occ_slots:
+            slot_view = np.frombuffer(nbrs_tbl[survivor], dtype=SLOT_DTYPE)
+            keep = keep_lut[slot_view]
+            if keep.all():  # twins of every departed point -- rare
+                continue
+            new_dists = array("d")
+            new_dists.frombytes(
+                np.frombuffer(dists_tbl[survivor])[keep].tobytes()
+            )
+            new_nbrs = array(SLOT_TYPECODE)
+            new_nbrs.frombytes(slot_view[keep].tobytes())
+            dists_tbl[survivor] = new_dists
+            nbrs_tbl[survivor] = new_nbrs
+
+    def _add_block(
+        self, adds: Sequence[DataPoint], strip: Optional[np.ndarray] = None
+    ) -> int:
+        """Insert a batch of points off one shared distance block.
+
+        One ``metric.cross`` call covers every (pending, existing) pair and
+        one ``metric.pairwise`` call the batch-internal pairs -- bitwise the
+        same distances as per-point ``metric.rows`` (the vectorized metrics
+        reduce row-by-row, so block shape never changes summation order).
+        Each pending point's own arrays come from the shared
+        :meth:`_ordered_arrays` kernel, and each existing array absorbs all
+        its new entries through a single ``searchsorted`` merge scatter.
+        When ``strip`` (a departing-slot lookup table from
+        :meth:`_evict_block`) is given, the same rebuild also drops the
+        departed entries, so survivors are reconstructed exactly once per
+        batch.
+        """
+        pending: List[DataPoint] = []
+        seen: Set[DataPoint] = set()
+        try:
+            for point in adds:
+                if point in self._slot_of or point in seen:
+                    continue
+                if self._dimension is None:
+                    self._dimension = point.dimension
+                elif point.dimension != self._dimension:
+                    raise RankingError(
+                        f"dimension mismatch: index holds {self._dimension}-"
+                        f"dimensional points, got {point.dimension}-"
+                        f"dimensional {point!r}"
+                    )
+                pending.append(point)
+                seen.add(point)
+        except RankingError:
+            # The survivors still owe the deferred eviction strip; leave
+            # the index consistent (all evictions applied, no additions)
+            # before propagating the all-or-nothing validation failure.
+            if strip is not None:
+                self._strip_block(strip)
+            raise
+        if not pending:
+            if strip is not None:
+                self._strip_block(strip)
+            return 0
+        m = len(pending)
+        keys = [sort_key(point) for point in pending]
+
+        # Twin exclusions, looked up against the *pre-batch* index state
+        # plus the batch itself (copies of one observation never appear in
+        # each other's neighbor arrays).
+        base_count = len(self._occ_slots)
+        excl_base: Dict[int, List[int]] = {}
+        key_members: Dict[RestKey, List[int]] = {}
+        for j, key in enumerate(keys):
+            key_members.setdefault(key, []).append(j)
+            twins = self._key_slots.get(key)
+            if twins:
+                excl_base[j] = [self._occ_pos[t] for t in twins]
+        excl_batch: Dict[int, Set[int]] = {}
+        for members in key_members.values():
+            if len(members) > 1:
+                for j in members:
+                    excl_batch[j] = {i for i in members if i != j}
+
+        # The shared distance blocks, computed against the pre-batch value
+        # buffer before any registration mutates it.
+        values = [point.values for point in pending]
+        if base_count:
+            cross = self._metric.cross(values, self._occ_values)
+            base_slot_row = np.frombuffer(self._occ_slots, dtype=SLOT_DTYPE).copy()
+        else:
+            cross = np.zeros((m, 0))
+            base_slot_row = np.zeros(0, dtype=SLOT_DTYPE)
+        inner = self._metric.pairwise(values) if m > 1 else None
+
+        # Allocate slots in list order (the sequential path pops the same
+        # LIFO free-list) and label them up front: the tie repair inside
+        # `_ordered_arrays` reads the ``≺`` keys of batch-mates by slot.
+        new_slots: List[int] = []
+        for _ in range(m):
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = len(self._points)
+                self._points.append(None)
+                self._keys.append(None)
+                self._dists.append(None)
+                self._nbrs.append(None)
+                self._occ_pos.append(-1)
+            new_slots.append(slot)
+        for slot, key in zip(new_slots, keys):
+            self._keys[slot] = key
+        new_slot_row = np.asarray(new_slots, dtype=SLOT_DTYPE)
+
+        # Without any twin exclusion (the overwhelmingly common case) every
+        # pending point's unsorted own row is base distances followed by its
+        # batch-mates, so the rows for the whole batch are two matrix writes
+        # -- one cross copy, one off-diagonal gather of ``inner`` -- instead
+        # of per-point concatenations and fancy-indexed mate picks.
+        shared_rows = shared_slots = None
+        if not excl_base and not excl_batch and base_count:
+            own_width = base_count + m - 1
+            shared_rows = np.empty((m, own_width))
+            shared_slots = np.empty((m, own_width), dtype=SLOT_DTYPE)
+            shared_rows[:, :base_count] = cross
+            shared_slots[:, :base_count] = base_slot_row
+            if m > 1:
+                off_diag = ~np.eye(m, dtype=bool)
+                shared_rows[:, base_count:] = inner[off_diag].reshape(m, m - 1)
+                shared_slots[:, base_count:] = np.broadcast_to(
+                    new_slot_row, (m, m)
+                )[off_diag].reshape(m, m - 1)
+
+        block_arrays = (
+            None
+            if shared_rows is None
+            else self._ordered_arrays_block(shared_rows, shared_slots)
+        )
+        added_records: List[Tuple[int, DataPoint, array, array]] = []
+        for j, point in enumerate(pending):
+            if block_arrays is not None:
+                own_dists, own_nbrs = block_arrays[j]
+            else:
+                row_parts: List[np.ndarray] = []
+                slot_parts: List[np.ndarray] = []
+                if base_count:
+                    base_row = cross[j]
+                    base_slots = base_slot_row
+                    dropped = excl_base.get(j)
+                    if dropped:
+                        keep = np.ones(base_count, dtype=bool)
+                        keep[dropped] = False
+                        base_row = base_row[keep]
+                        base_slots = base_slots[keep]
+                    row_parts.append(base_row)
+                    slot_parts.append(base_slots)
+                if m > 1:
+                    drop = excl_batch.get(j, frozenset())
+                    mates = [i for i in range(m) if i != j and i not in drop]
+                    if mates:
+                        row_parts.append(inner[j, mates])
+                        slot_parts.append(new_slot_row[mates])
+                if row_parts:
+                    row = (
+                        np.concatenate(row_parts)
+                        if len(row_parts) > 1
+                        else row_parts[0]
+                    )
+                    slot_row = (
+                        np.concatenate(slot_parts)
+                        if len(slot_parts) > 1
+                        else slot_parts[0]
+                    )
+                    own_dists, own_nbrs = self._ordered_arrays(row, slot_row)
+                else:
+                    own_dists = array("d")
+                    own_nbrs = array(SLOT_TYPECODE)
+            slot = new_slots[j]
+            self._slot_of[point] = slot
+            self._points[slot] = point
+            self._dists[slot] = own_dists
+            self._nbrs[slot] = own_nbrs
+            self._occ_pos[slot] = len(self._occ_slots)
+            self._occ_slots.append(slot)
+            self._occ_values.append(point.values)
+            self._key_slots.setdefault(keys[j], set()).add(slot)
+            added_records.append((slot, point, own_nbrs, own_dists))
+
+        # Rebuild every pre-existing array exactly once: strip the departed
+        # entries (if a block eviction preceded us) and scatter the batch's
+        # column in with a single ``searchsorted`` merge, instead of one
+        # bisected memmove per (survivor, departing/added point) pair.
+        # ``side='right'`` lands each new entry after any equal-distance
+        # run, exactly where the sequential splice starts its key-ordered
+        # walk-back; the walk-back itself is replayed by
+        # :meth:`_repair_tie_runs` on the (rare) arrays containing a tie.
+        if base_count:
+            col_excl: Dict[int, List[int]] = {}
+            for j, positions in excl_base.items():
+                for pos in positions:
+                    col_excl.setdefault(pos, []).append(j)
+            dists_tbl = self._dists
+            nbrs_tbl = self._nbrs
+            keep_lut = None if strip is None else ~strip
+            # One argsort for the whole block: row ``i`` of the transposed
+            # sorted matrices is the batch pre-ordered for survivor ``i``'s
+            # merge.  Sorting the transpose row-wise keeps every sort and
+            # gather contiguous.  Introsort, not a stable sort: any two
+            # batch entries with equal distance to a survivor land adjacent
+            # in the merged row, where :meth:`_repair_tie_runs` re-sorts
+            # the whole run by ``(≺ key, slot)`` -- the pre-merge order of
+            # equal entries never reaches the final arrays.
+            crossT = np.ascontiguousarray(cross.T)
+            orderT = crossT.argsort(axis=1)
+            colsT = np.take_along_axis(crossT, orderT, axis=1)
+            slotsT = new_slot_row[orderT]
+            base_targets = base_slot_row.tolist()
+            # Rows of exactly this width are *complete*: unique entries
+            # drawn from (survivors ∪ departing) minus the row's own slot,
+            # so a full-width row provably holds every departing slot
+            # exactly once and the chunked strip can skip its per-row
+            # uniformity count.
+            n_depart = 0 if strip is None else int(strip.sum())
+            full_width = base_count + n_depart - 1
+            arange_m = np.arange(m)
+            empty_d = np.empty(0)
+            empty_n = np.empty(0, dtype=SLOT_DTYPE)
+
+            def splice_row(i: int) -> None:
+                """Strip-and-merge one survivor's arrays (scalar path)."""
+                dropped = col_excl.get(i)
+                if dropped is None:
+                    col = colsT[i]
+                    scol = slotsT[i]
+                    offsets = arange_m
+                else:  # twins in the batch -- rare
+                    keep = np.ones(m, dtype=bool)
+                    keep[dropped] = False
+                    keep = keep[orderT[i]]
+                    col = colsT[i][keep]
+                    scol = slotsT[i][keep]
+                    offsets = arange_m[: len(col)]
+                    if not len(col):
+                        if keep_lut is None:
+                            return  # nothing to insert, nothing to strip
+                        col = empty_d
+                        scol = empty_n
+                target = base_targets[i]
+                old_d = np.frombuffer(dists_tbl[target])
+                old_n = np.frombuffer(nbrs_tbl[target], dtype=SLOT_DTYPE)
+                if keep_lut is not None:
+                    keep_rows = keep_lut[old_n]
+                    old_d = old_d[keep_rows]
+                    old_n = old_n[keep_rows]
+                pos = old_d.searchsorted(col, side="right")
+                targets = pos + offsets
+                total = old_d.shape[0] + col.shape[0]
+                out_d = np.empty(total)
+                out_n = np.empty(total, dtype=SLOT_DTYPE)
+                out_d[targets] = col
+                out_n[targets] = scol
+                gaps = np.ones(total, dtype=bool)
+                gaps[targets] = False
+                out_d[gaps] = old_d
+                out_n[gaps] = old_n
+                if total > 1 and (out_d[1:] == out_d[:-1]).any():
+                    out_d, out_n = self._repair_tie_runs(out_d, out_n)
+                new_dists = array("d")
+                new_dists.frombytes(out_d.tobytes())
+                new_nbrs = array(SLOT_TYPECODE)
+                new_nbrs.frombytes(out_n.tobytes())
+                dists_tbl[target] = new_dists
+                nbrs_tbl[target] = new_nbrs
+
+            if col_excl:
+                for i in range(base_count):
+                    splice_row(i)
+            else:
+                # Chunked rectangular path: survivors whose arrays share a
+                # length are rebuilt a cache-sized block of rows at a time,
+                # collapsing the per-survivor numpy dispatch into a handful
+                # of matrix operations while the working set stays L2-hot.
+                # Any chunk that breaks the rectangle (ragged lengths, or a
+                # strip that removes different counts per row -- both only
+                # happen around ``≺``-key twins) falls back to the scalar
+                # splice for its rows; the results are identical.
+                lo = 0
+                while lo < base_count:
+                    hi = min(lo + SPLICE_CHUNK_ROWS, base_count)
+                    if not self._splice_chunk(
+                        base_targets,
+                        colsT,
+                        slotsT,
+                        keep_lut,
+                        lo,
+                        hi,
+                        m,
+                        full_width,
+                        n_depart,
+                    ):
+                        for i in range(lo, hi):
+                            splice_row(i)
+                    lo = hi
+        self._notify_added(added_records, shared_rows, shared_slots)
+        return m
+
+    def _splice_chunk(
+        self,
+        base_targets: List[int],
+        colsT: np.ndarray,
+        slotsT: np.ndarray,
+        keep_lut: Optional[np.ndarray],
+        lo: int,
+        hi: int,
+        m: int,
+        full_width: int,
+        n_depart: int,
+    ) -> bool:
+        """Strip-and-merge survivors ``lo..hi`` as one rectangular matrix.
+
+        Requires every row in the chunk to have the same array length and
+        (when a strip table is given) to lose the same number of entries --
+        true away from ``≺``-key twins, since every survivor then holds
+        every departing slot.  Returns ``False`` without mutating anything
+        when the rectangle does not hold, so the caller can fall back to
+        the scalar splice.  The merged rows are byte-identical to the
+        scalar path: same ``side='right'`` searchsorted targets, same
+        stable batch order, same tie-run repair.
+        """
+        dists_tbl = self._dists
+        nbrs_tbl = self._nbrs
+        rows = base_targets[lo:hi]
+        nrows = len(rows)
+        width = len(dists_tbl[rows[0]])
+        for target in rows:
+            if len(dists_tbl[target]) != width:
+                return False
+        big_d = np.concatenate(
+            [np.frombuffer(dists_tbl[t]) for t in rows]
+        ).reshape(nrows, width)
+        big_n = np.concatenate(
+            [np.frombuffer(nbrs_tbl[t], dtype=SLOT_DTYPE) for t in rows]
+        ).reshape(nrows, width)
+        if keep_lut is not None and width:
+            keep = keep_lut[big_n]
+            if width == full_width:
+                # Complete rows (see caller): every departing slot appears
+                # exactly once per row, no uniformity count needed.
+                kept = width - n_depart
+            else:
+                counts = keep.sum(axis=1)
+                kept = int(counts[0])
+                if not (counts == kept).all():
+                    return False
+            if kept != width:
+                big_d = big_d[keep].reshape(nrows, kept)
+                big_n = big_n[keep].reshape(nrows, kept)
+                width = kept
+        cols = colsT[lo:hi]
+        scols = slotsT[lo:hi]
+        pos = np.empty((nrows, m), dtype=np.intp)
+        for r in range(nrows):
+            pos[r] = big_d[r].searchsorted(cols[r], side="right")
+        total_row = width + m
+        flat_targets = (
+            pos + np.arange(m) + (np.arange(nrows) * total_row)[:, None]
+        ).ravel()
+        out_d = np.empty(nrows * total_row)
+        out_n = np.empty(nrows * total_row, dtype=SLOT_DTYPE)
+        out_d[flat_targets] = cols.ravel()
+        out_n[flat_targets] = scols.ravel()
+        gaps = np.ones(nrows * total_row, dtype=bool)
+        gaps[flat_targets] = False
+        out_d[gaps] = big_d.ravel()
+        out_n[gaps] = big_n.ravel()
+        out_d = out_d.reshape(nrows, total_row)
+        out_n = out_n.reshape(nrows, total_row)
+        if total_row > 1:
+            ties = out_d[:, 1:] == out_d[:, :-1]
+            if ties.any():
+                for r in np.nonzero(ties.any(axis=1))[0]:
+                    row_d, row_n = self._repair_tie_runs(out_d[r], out_n[r])
+                    out_d[r] = row_d
+                    out_n[r] = row_n
+        out_d_mv = out_d.data.cast("B")
+        out_n_mv = out_n.data.cast("B")
+        d_stride = total_row * out_d.itemsize
+        n_stride = total_row * out_n.itemsize
+        for r, target in enumerate(rows):
+            new_dists = array("d")
+            new_dists.frombytes(out_d_mv[r * d_stride : (r + 1) * d_stride])
+            new_nbrs = array(SLOT_TYPECODE)
+            new_nbrs.frombytes(out_n_mv[r * n_stride : (r + 1) * n_stride])
+            dists_tbl[target] = new_dists
+            nbrs_tbl[target] = new_nbrs
+        return True
+
+    def _repair_tie_runs(
+        self, dists: np.ndarray, slots: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-sort every equal-distance run by ``(≺ key, slot)``.
+
+        Runs that predate a merge already satisfy the invariant, so the
+        re-sort is idempotent there; runs containing freshly spliced
+        entries are where the repair matters.
+        """
+        keys = self._keys
+        pairs = list(zip(dists.tolist(), slots.tolist()))
+        i, count = 0, len(pairs)
+        while i < count - 1:
+            if pairs[i][0] == pairs[i + 1][0]:
+                tied = pairs[i][0]
+                j = i + 2
+                while j < count and pairs[j][0] == tied:
+                    j += 1
+                run = pairs[i:j]
+                run.sort(key=lambda p: (keys[p[1]], p[1]))
+                pairs[i:j] = run
+                i = j
+            else:
+                i += 1
+        out_d = np.fromiter((p[0] for p in pairs), dtype=float, count=count)
+        out_n = np.fromiter((p[1] for p in pairs), dtype=SLOT_DTYPE, count=count)
+        return out_d, out_n
+
+    def _ordered_arrays(
+        self, row: np.ndarray, slot_row: np.ndarray
+    ) -> Tuple[array, array]:
+        """Sort one distance row into a point's own parallel arrays.
+
+        Distance-first order; ties (equal doubles) must then be re-ordered
+        by ``(≺ key, slot)`` so the arrays match the brute-force
+        ``(distance, ≺)`` order exactly -- ties are rare on continuous
+        data, so the common case is a pure C argsort.  Shared by
+        :meth:`add` and the batched insertion path.
+        """
+        own_dists = array("d")
+        own_nbrs = array(SLOT_TYPECODE)
+        if not len(row):
+            return own_dists, own_nbrs
+        # Introsort, not a stable sort: without ties the order is unique
+        # anyway, and with ties the pairs-based repair below rebuilds the
+        # arrays from scratch -- so sort stability buys nothing at ~2x the
+        # sort cost.
+        order = row.argsort()
+        sorted_dists = row[order]
+        sorted_slots = slot_row[order]
+        if len(row) > 1 and bool((sorted_dists[1:] == sorted_dists[:-1]).any()):
+            keys = self._keys
+            pairs = sorted(zip(row.tolist(), slot_row.tolist()))
+            i, count = 0, len(pairs)
+            while i < count - 1:
+                if pairs[i][0] == pairs[i + 1][0]:
+                    tied = pairs[i][0]
+                    j = i + 2
+                    while j < count and pairs[j][0] == tied:
+                        j += 1
+                    run = pairs[i:j]
+                    run.sort(key=lambda p: (keys[p[1]], p[1]))
+                    pairs[i:j] = run
+                    i = j
+                else:
+                    i += 1
+            own_dists.extend(p[0] for p in pairs)
+            own_nbrs.extend(p[1] for p in pairs)
+        else:
+            own_dists.frombytes(sorted_dists.tobytes())
+            own_nbrs.frombytes(np.ascontiguousarray(sorted_slots).tobytes())
+        return own_dists, own_nbrs
+
+    def _ordered_arrays_block(
+        self, rows: np.ndarray, slot_rows: np.ndarray
+    ) -> List[Tuple[array, array]]:
+        """:meth:`_ordered_arrays` for a whole ``(m, width)`` block at once.
+
+        One axis-1 argsort/gather/serialize for the block instead of ``m``
+        dispatch rounds.  Rows with no equal-distance pair have a unique
+        order, so the row-wise introsort matches the per-row sort exactly;
+        rows containing a tie (detected the same way the scalar path does)
+        are handed back to :meth:`_ordered_arrays`, whose pairs-based
+        repair rebuilds them -- byte-identical either way.
+        """
+        m, width = rows.shape
+        order = rows.argsort(axis=1)
+        sorted_dists = np.take_along_axis(rows, order, axis=1)
+        sorted_slots = np.take_along_axis(slot_rows, order, axis=1)
+        tie_rows = None
+        if width > 1:
+            ties = sorted_dists[:, 1:] == sorted_dists[:, :-1]
+            if ties.any():
+                tie_rows = ties.any(axis=1)
+        dists_mv = sorted_dists.data.cast("B")
+        slots_mv = sorted_slots.data.cast("B")
+        d_stride = width * sorted_dists.itemsize
+        n_stride = width * sorted_slots.itemsize
+        out: List[Tuple[array, array]] = []
+        for j in range(m):
+            if tie_rows is not None and tie_rows[j]:
+                out.append(self._ordered_arrays(rows[j], slot_rows[j]))
+                continue
+            own_dists = array("d")
+            own_dists.frombytes(dists_mv[j * d_stride : (j + 1) * d_stride])
+            own_nbrs = array(SLOT_TYPECODE)
+            own_nbrs.frombytes(slots_mv[j * n_stride : (j + 1) * n_stride])
+            out.append((own_dists, own_nbrs))
+        return out
+
+    def _notify_added(
+        self,
+        records: Sequence[Tuple[int, DataPoint, array, array]],
+        rows_mat: Optional[np.ndarray] = None,
+        slots_mat: Optional[np.ndarray] = None,
+    ) -> None:
+        """Notify observers of a block addition.
+
+        ``rows_mat``/``slots_mat`` are the block's shared (unsorted)
+        distance/slot matrices when the twin-free fast path built them --
+        row ``j`` holds the same (multi)set of entries as record ``j``'s
+        sorted arrays, so set-semantics consumers (dirty marking) can scan
+        the matrix in one vectorized pass instead of row by row.
+        """
+        for observer in self._observers:
+            hook = getattr(observer, "points_added_batch", None)
+            if hook is not None:
+                hook(records, rows_mat, slots_mat)
+            else:
+                for slot, point, own_nbrs, own_dists in records:
+                    observer.point_added(slot, point, own_nbrs, own_dists)
+
+    def _notify_removed(
+        self, records: Sequence[Tuple[int, DataPoint, array, array]]
+    ) -> None:
+        for observer in self._observers:
+            hook = getattr(observer, "points_removed_batch", None)
+            if hook is not None:
+                hook(records)
+            else:
+                for slot, point, own_nbrs, own_dists in records:
+                    observer.point_removed(slot, point, own_nbrs, own_dists)
 
     # ------------------------------------------------------------------
     # Queries

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from functools import partial
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -83,6 +84,21 @@ class Metric(ABC):
     @abstractmethod
     def pairwise(self, X: Sequence[Vector]) -> np.ndarray:
         """The full ``(n, n)`` distance matrix over ``X`` (zero diagonal)."""
+
+    def cross(self, A: Sequence[Vector], B: Sequence[Vector]) -> np.ndarray:
+        """The ``(len(A), len(B))`` distance block between two vector sets.
+
+        This is the batched-insertion kernel: one call yields the distances
+        from every point of an arrival batch ``A`` to every held point
+        ``B``.  The default stacks one :meth:`rows` call per left-hand
+        vector, so the block path is bitwise-identical to the row path by
+        construction; vectorized metrics override it with a single shared
+        reduction (same guarantee, one kernel dispatch).
+        """
+        block = [self.rows(a, B) for a in A]
+        if not block:
+            return np.zeros((0, len(B)))
+        return np.stack(block)
 
     def params(self) -> Tuple[Tuple[str, object], ...]:
         """Canonical ``(name, value)`` parameter pairs of this instance."""
@@ -131,9 +147,12 @@ class EuclideanMetric(Metric):
         return math.dist(a, b)
 
     def rows(self, x: Vector, X: Sequence[Vector]) -> np.ndarray:
-        dist = math.dist
+        # ``fromiter(map(...))`` runs the whole row at C level; the floats
+        # are the very same ``math.dist`` results the seed produced.
         try:
-            return np.array([dist(x, row) for row in X], dtype=float)
+            return np.fromiter(
+                map(partial(math.dist, x), X), dtype=float, count=len(X)
+            )
         except ValueError as error:  # math.dist's dimension mismatch
             raise RankingError(str(error)) from None
 
@@ -193,6 +212,19 @@ class VectorizedMetric(Metric):
         diffs = points[:, None, :] - points[None, :, :]
         flat = np.ascontiguousarray(diffs.reshape(size * size, dimension))
         return self._reduce(flat).reshape(size, size)
+
+    def cross(self, A: Sequence[Vector], B: Sequence[Vector]) -> np.ndarray:
+        left = np.asarray(list(A), dtype=float)
+        right = np.asarray(list(B), dtype=float)
+        if left.size == 0 or right.size == 0:
+            return np.zeros((len(left), len(right)))
+        self._check_dimensions(left.shape[1], right.shape[1])
+        self.validate_dimension(left.shape[1])
+        diffs = left[:, None, :] - right[None, :, :]
+        flat = np.ascontiguousarray(
+            diffs.reshape(len(left) * len(right), left.shape[1])
+        )
+        return self._reduce(flat).reshape(len(left), len(right))
 
 
 class ManhattanMetric(VectorizedMetric):

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
+from .batch import EventBatch
 from .errors import ConfigurationError, ProtocolError
 from .index import NeighborhoodIndex
 from .interfaces import OutlierDetector
@@ -84,6 +85,14 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         depends on the ``rest`` fields), and the per-hop-level estimates of
         Algorithm 2 become masked walks over the cached sorted-neighbor
         lists.  ``False`` selects the brute-force reference path.
+    batched:
+        When ``True`` (default) each protocol event's additions, evictions
+        and hop relabels are applied to the index as one
+        :class:`~repro.core.batch.EventBatch`; the per-hop-level rescoring
+        caches then see one batch mark per event instead of one per point.
+        ``False`` keeps the per-point mutations (the batch path's oracle).
+        Ignored when ``indexed`` is ``False``; transcripts are identical
+        either way.
     """
 
     VARIANTS = ("refined", "paper")
@@ -96,6 +105,7 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         neighbors: Iterable[int] = (),
         variant: str = "refined",
         indexed: bool = True,
+        batched: bool = True,
     ) -> None:
         super().__init__(sensor_id, query, neighbors)
         if hop_diameter < 1:
@@ -136,20 +146,40 @@ class SemiGlobalOutlierDetector(OutlierDetector):
             ]
             if None not in caches:
                 self._caches = caches
+        self._batched = bool(batched) and self._index is not None
 
     # ------------------------------------------------------------------
     # Index maintenance (min-hop-merge aware)
     # ------------------------------------------------------------------
-    def _index_put(self, previous: Optional[DataPoint], point: DataPoint) -> None:
+    def _index_put(
+        self,
+        previous: Optional[DataPoint],
+        point: DataPoint,
+        batch: Optional[EventBatch] = None,
+    ) -> None:
         """Record that ``holdings[point.rest]`` changed from ``previous`` to
         ``point``.  A hop-only change relabels the slot in O(1); a genuinely
-        new observation is inserted incrementally."""
+        new observation is inserted incrementally.  With ``batch`` the
+        change is staged instead of applied (``stage_put`` keeps the
+        add-vs-relabel distinction)."""
         if self._index is None:
             return
-        if previous is None:
+        if batch is not None:
+            batch.stage_put(previous, point)
+        elif previous is None:
             self._index.add(point)
         else:
             self._index.replace(previous, point)
+
+    def _new_batch(self) -> Optional[EventBatch]:
+        """A fresh per-event batch on the batched path, else ``None`` (the
+        appliers then mutate the index point by point, preserving the
+        per-event oracle verbatim)."""
+        return EventBatch() if self._batched else None
+
+    def _commit_batch(self, batch: Optional[EventBatch]) -> None:
+        if batch:
+            self._index.apply_batch(batch)
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -181,13 +211,19 @@ class SemiGlobalOutlierDetector(OutlierDetector):
     def add_local_points(
         self, points: Iterable[DataPoint]
     ) -> Optional[OutlierMessage]:
-        if not self._apply_local_additions(points):
+        batch = self._new_batch()
+        changed = self._apply_local_additions(points, batch)
+        self._commit_batch(batch)
+        if not changed:
             return None
         self.stats.events_processed += 1
         return self._process()
 
     def evict_points(self, points: Iterable[DataPoint]) -> Optional[OutlierMessage]:
-        if not self._apply_evictions(points):
+        batch = self._new_batch()
+        changed = self._apply_evictions(points, batch)
+        self._commit_batch(batch)
+        if not changed:
             return None
         self.stats.events_processed += 1
         return self._process()
@@ -197,14 +233,21 @@ class SemiGlobalOutlierDetector(OutlierDetector):
         added: Iterable[DataPoint],
         evicted: Iterable[DataPoint],
     ) -> Optional[OutlierMessage]:
-        changed_evict = self._apply_evictions(evicted)
-        changed_add = self._apply_local_additions(added)
+        # One batch for the whole tick: evictions and arrivals share a
+        # single index application (apply_batch evicts first, exactly like
+        # the sequential order below).
+        batch = self._new_batch()
+        changed_evict = self._apply_evictions(evicted, batch)
+        changed_add = self._apply_local_additions(added, batch)
+        self._commit_batch(batch)
         if not (changed_evict or changed_add):
             return None
         self.stats.events_processed += 1
         return self._process()
 
-    def _apply_local_additions(self, points: Iterable[DataPoint]) -> bool:
+    def _apply_local_additions(
+        self, points: Iterable[DataPoint], batch: Optional[EventBatch] = None
+    ) -> bool:
         added = False
         for point in points:
             if point.hop != 0:
@@ -216,12 +259,14 @@ class SemiGlobalOutlierDetector(OutlierDetector):
                 continue
             self._local[point.rest] = point
             self._holdings[point.rest] = point
-            self._index_put(previous, point)
+            self._index_put(previous, point, batch)
             self.stats.local_points_added += 1
             added = True
         return added
 
-    def _apply_evictions(self, points: Iterable[DataPoint]) -> bool:
+    def _apply_evictions(
+        self, points: Iterable[DataPoint], batch: Optional[EventBatch] = None
+    ) -> bool:
         keys = {point.rest for point in points}
         if not keys:
             return False
@@ -230,7 +275,9 @@ class SemiGlobalOutlierDetector(OutlierDetector):
             previous = self._holdings.pop(key, None)
             if previous is not None:
                 self._local.pop(key, None)
-                if self._index is not None:
+                if batch is not None:
+                    batch.evicts.append(previous)
+                elif self._index is not None:
                     self._index.discard(previous)
                 evicted = True
                 self.stats.points_evicted += 1
@@ -252,12 +299,13 @@ class SemiGlobalOutlierDetector(OutlierDetector):
             )
         self.stats.messages_received += 1
         changed = False
+        batch = self._new_batch()
         for point in points:
             key = point.rest
             current = self._holdings.get(key)
             if current is None:
                 self._holdings[key] = point
-                self._index_put(None, point)
+                self._index_put(None, point, batch)
                 self._record_received(sender, point)
                 self.stats.points_received += 1
                 changed = True
@@ -267,12 +315,13 @@ class SemiGlobalOutlierDetector(OutlierDetector):
                 # index slot is relabelled in O(1) -- the geometry is
                 # untouched by a hop change.
                 self._holdings[key] = point
-                self._index_put(current, point)
+                self._index_put(current, point, batch)
                 self._record_received(sender, point)
                 self.stats.points_received += 1
                 changed = True
             else:
                 self.stats.points_ignored += 1
+        self._commit_batch(batch)
         if not changed:
             return None
         self.stats.events_processed += 1

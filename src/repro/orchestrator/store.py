@@ -69,7 +69,13 @@ __all__ = [
 #: still *compute* byte-identical transcripts, but schema-2 encodings lack
 #: the ``faults`` field and would fail the decoded-scenario equality check
 #: anyway -- the bump makes the invalidation explicit instead of incidental.
-STORE_SCHEMA_VERSION = 3
+#:
+#: History: 4 -- batched event application added ``batched`` to
+#: :class:`~repro.core.config.DetectionConfig`.  The flag never changes a
+#: transcript, but it changes the canonical scenario encoding (and hence
+#: the cache key), so schema-3 entries are recomputed rather than mis-hit
+#: against a scenario that no longer decodes field-for-field.
+STORE_SCHEMA_VERSION = 4
 
 
 def canonical_scenario_json(scenario: ScenarioConfig) -> str:

@@ -98,6 +98,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
                 query,
                 neighbors=topology.neighbors(node_id),
                 indexed=scenario.detection.indexed,
+                batched=scenario.detection.batched,
             )
             deployment.detectors[node_id] = detector
             deployment.apps[node_id] = DistributedDetectorApp(
@@ -115,6 +116,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
                 neighbors=topology.neighbors(node_id),
                 variant=scenario.detection.semiglobal_variant,
                 indexed=scenario.detection.indexed,
+                batched=scenario.detection.batched,
             )
             deployment.detectors[node_id] = detector
             deployment.apps[node_id] = DistributedDetectorApp(
@@ -137,6 +139,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
                     query,
                     window_length=scenario.detection.window_length,
                     indexed=scenario.detection.indexed,
+                    batched=scenario.detection.batched,
                 )
             else:
                 deployment.apps[node_id] = CentralizedClientApp(

@@ -6,6 +6,14 @@ sliding window, feeds sampling and eviction events to the sans-IO detector,
 wraps the detector's outgoing :class:`~repro.core.messages.OutlierMessage`
 into broadcast packets (with a small random jitter so neighbors do not key up
 simultaneously), and feeds received packets back into the detector.
+
+Each sampling tick is delivered to the detector as *one* data-change event
+(``update_local_data(added, expired)`` -- all of the tick's expirations plus
+the fresh reading together), which is exactly the grouping the detectors
+turn into a per-event :class:`~repro.core.batch.EventBatch` on the batched
+index path: a steady-state tick is a tiny batch, while crash resets (whole
+window evicted at once) and received messages (many points per packet) form
+the large batches the block path amortizes.
 """
 
 from __future__ import annotations

@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.bench import (
     BENCH_SCHEMA,
+    check_batched_floor,
     check_speedup_floor,
     render_hotpath_table,
+    render_regression_report,
     run_hotpath_bench,
     write_bench_artifacts,
 )
@@ -52,6 +56,71 @@ class TestHotpathHarness:
         # A missing window must fail, never pass vacuously.
         ok, message = check_speedup_floor(payload, 1.0, 64)
         assert not ok and "not in the measured sweep" in message
+
+    def test_payload_batched_fields(self):
+        payload = run_hotpath_bench(windows=(12,), events=2, batch_sizes=(1, 4))
+        (row,) = payload["windows"]
+        assert [entry["batch_size"] for entry in row["batch_sweep"]] == [1, 4]
+        for entry in row["batch_sweep"]:
+            assert entry["batched_ms"] > 0
+            assert entry["speedup"] > 0
+        # The headline columns are the largest swept batch size.
+        assert row["batch_size"] == 4
+        assert row["batched_ms"] == row["batch_sweep"][-1]["batched_ms"]
+        assert row["batched_speedup"] == pytest.approx(
+            row["indexed_ms"] / row["batched_ms"]
+        )
+        assert row["events_batched"] > 0
+
+    def test_batch_sizes_larger_than_window_are_skipped(self):
+        payload = run_hotpath_bench(windows=(12,), events=2, batch_sizes=(4, 64))
+        (row,) = payload["windows"]
+        assert [entry["batch_size"] for entry in row["batch_sweep"]] == [4]
+        assert row["batch_size"] == 4
+
+    def test_batched_floor_check_semantics(self):
+        payload = {
+            "windows": [
+                {"window": 256, "batched_speedup": 4.0, "batch_size": 64},
+                {"window": 1024, "batched_speedup": None, "batch_size": None},
+            ]
+        }
+        ok, message = check_batched_floor(payload, 2.5, 256)
+        assert ok and "4.0x" in message
+        ok, message = check_batched_floor(payload, 5.0, 256)
+        assert not ok and "REGRESSION" in message
+        # A row without batched measurements fails, never passes vacuously.
+        ok, message = check_batched_floor(payload, 0.1, 1024)
+        assert not ok and "no batched measurement" in message
+        # So does a window that was never measured.
+        ok, message = check_batched_floor(payload, 0.1, 64)
+        assert not ok and "not in the measured sweep" in message
+
+    def test_render_table_includes_batched_columns(self):
+        payload = run_hotpath_bench(windows=(12,), events=2, batch_sizes=(1, 4))
+        table = render_hotpath_table(payload)
+        assert "batched ms" in table and "batch x" in table
+        assert "batch sweep (events per tick): 1, 4" in table
+
+    def test_regression_report_compares_old_and_new(self):
+        baseline = {
+            "windows": [{"window": 256, "indexed_ms": 2.0, "speedup": 8.0}]
+        }
+        current = {
+            "windows": [
+                {
+                    "window": 256,
+                    "indexed_ms": 3.0,
+                    "batched_ms": 0.6,
+                    "speedup": 5.0,
+                }
+            ]
+        }
+        report = render_regression_report(baseline, current)
+        assert "2.000 -> 3.000" in report
+        # Baselines from before the batched path render as "-".
+        assert "- -> 0.600" in report
+        assert "8.000x -> 5.000x" in report
 
     def test_artifacts_written_as_valid_json(self, tmp_path):
         payload = run_hotpath_bench(windows=(12,), events=2)
@@ -118,6 +187,78 @@ class TestBenchCLI:
         assert (tmp_path / "BENCH_hotpath.json").exists()
         assert not (tmp_path / "BENCH_e2e.json").exists()
 
+    def test_bench_batch_floor_passes(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--windows",
+                "12",
+                "--events",
+                "2",
+                "--batch-sizes",
+                "1,4",
+                "--skip-e2e",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--floor",
+                "0.01",
+                "--floor-window",
+                "12",
+                "--batch-floor",
+                "0.01",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "batch guard ok" in output
+        hotpath = json.loads((tmp_path / "BENCH_hotpath.json").read_text())
+        assert hotpath["windows"][0]["batch_size"] == 4
+
+    def test_bench_batch_floor_failure_prints_baseline_diff(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {"windows": [{"window": 12, "indexed_ms": 1.0, "speedup": 9.0}]}
+            )
+        )
+        exit_code = main(
+            [
+                "bench",
+                "--windows",
+                "12",
+                "--events",
+                "2",
+                "--batch-sizes",
+                "4",
+                "--skip-e2e",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--floor",
+                "0.01",
+                "--floor-window",
+                "12",
+                "--batch-floor",
+                "1e9",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert exit_code == 1
+        output = capsys.readouterr().out
+        assert "batch guard REGRESSION" in output
+        # The failure is accompanied by the readable old-vs-new table.
+        assert "perf regression report" in output
+        # The artifact is still written so CI can upload the evidence.
+        assert (tmp_path / "BENCH_hotpath.json").exists()
+
     def test_bench_rejects_malformed_windows(self, tmp_path, capsys):
         assert main(["bench", "--windows", "abc"]) == 2
         assert main(["bench", "--windows", "4"]) == 2
+
+    def test_bench_rejects_malformed_batch_sizes(self, tmp_path, capsys):
+        assert main(["bench", "--batch-sizes", "abc"]) == 2
+        assert main(["bench", "--batch-sizes", "0"]) == 2
