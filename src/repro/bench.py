@@ -6,7 +6,7 @@ window/network the experiments can simulate, so it is measured the same way
 figures are -- reproducibly, from a CLI entry point, with artifacts a CI
 job can diff and threshold.
 
-Two benchmarks ship:
+Three benchmarks ship:
 
 * **hotpath** -- per-event latency of the steady-state detector loop (one
   arrival plus one eviction at a fixed window size), measured for the
@@ -17,6 +17,13 @@ Two benchmarks ship:
   :func:`repro.wsn.runner.run_scenario` (the global and semi-global
   detectors and the centralized baseline on the synthetic workload).
   Emitted as ``BENCH_e2e.json``.
+* **setup** -- scenario *construction* cost at scale: layout generation
+  plus :class:`~repro.network.topology.Topology` building via the grid
+  spatial index versus the brute-force all-pairs oracle, on the same
+  density-preserving terrains the ``scaling-nodes`` sweep uses.  The brute
+  build is skipped above a node cap (it is O(n^2); the cap keeps the bench
+  bounded), so its speedup is ``null`` there.  Emitted as
+  ``BENCH_setup.json``.
 
 Both artifacts carry a stable ``schema`` number and enough configuration to
 interpret a trajectory of them across commits.  The CLI's ``--check`` mode
@@ -63,6 +70,13 @@ __all__ = [
     "render_hotpath_table",
     "render_regression_report",
     "run_e2e_bench",
+    "BENCH_SETUP_SCHEMA",
+    "DEFAULT_SETUP_NODES",
+    "QUICK_SETUP_NODES",
+    "measure_setup",
+    "run_setup_bench",
+    "render_setup_table",
+    "check_setup_floor",
     "write_bench_artifacts",
     "check_speedup_floor",
     "check_batched_floor",
@@ -86,6 +100,24 @@ QUICK_WINDOWS: Tuple[int, ...] = (64, 256)
 #: coarse sampling tick).  Sizes larger than the window are skipped per
 #: window so the sliding-window workload stays well formed.
 DEFAULT_BATCH_SIZES: Tuple[int, ...] = (1, 4, 16, 64)
+
+#: Schema of ``BENCH_setup.json`` (independent of the hotpath/e2e schema:
+#: the artifacts evolve separately).  History: 1 -- initial layout.
+BENCH_SETUP_SCHEMA = 1
+
+#: Node counts of the full setup sweep (matches the ``scaling-nodes``
+#: paper-profile counts).
+DEFAULT_SETUP_NODES: Tuple[int, ...] = (1024, 4096, 16384)
+
+#: Node counts of the CI-friendly ``--setup --quick`` sweep.  2048 is
+#: included because the perf-smoke setup floor is evaluated there.
+QUICK_SETUP_NODES: Tuple[int, ...] = (512, 2048)
+
+#: Largest node count the brute-force O(n^2) topology build is measured
+#: at.  Beyond it only the grid build runs and ``speedup`` is ``null`` --
+#: the brute build at 16k nodes takes tens of seconds, which would dominate
+#: the whole bench for a number nobody thresholds.
+_SETUP_BRUTE_CAP = 4096
 
 #: Measured events per (indexed, window).  The brute path at n=1024 runs
 #: ~100 ms per event, so the counts are asymmetric to bound runtime.
@@ -399,15 +431,175 @@ def run_e2e_bench(quick: bool = False) -> Dict:
     }
 
 
+def _best_of(repeats: int, build) -> float:
+    """Fastest wall-clock of ``repeats`` identical ``build()`` calls, in
+    seconds (the chunked-min convention applied to whole-build units: a
+    build is one indivisible chunk)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_setup(
+    nodes: int,
+    repeats: int = 3,
+    brute_cap: int = _SETUP_BRUTE_CAP,
+) -> Dict:
+    """One setup-bench row: layout + topology-build timings at ``nodes``.
+
+    The workload is exactly the ``scaling-nodes`` scenario setup: a
+    serpentine lab layout on the density-preserving terrain
+    (:func:`repro.experiments.sweeps.scaling_terrain`) and a
+    :class:`~repro.network.topology.Topology` at the paper's transmission
+    range.  Both builders replay the identical placement, so the reported
+    speedup isolates the neighbor-index algorithm, not the workload.  The
+    brute oracle is skipped (``brute_ms``/``speedup`` are ``None``) above
+    ``brute_cap``.
+    """
+    from .datasets.layout import DEFAULT_TRANSMISSION_RANGE, intel_lab_layout
+    from .experiments.sweeps import scaling_terrain
+    from .network.topology import Topology
+
+    terrain = scaling_terrain(nodes)
+    layout_s = _best_of(
+        repeats, lambda: intel_lab_layout(node_count=nodes, terrain_size=terrain)
+    )
+    positions = intel_lab_layout(node_count=nodes, terrain_size=terrain)
+
+    grid_s = _best_of(
+        repeats,
+        lambda: Topology.from_positions(
+            positions,
+            transmission_range=DEFAULT_TRANSMISSION_RANGE,
+            builder="grid",
+        ),
+    )
+    topology = Topology.from_positions(
+        positions, transmission_range=DEFAULT_TRANSMISSION_RANGE, builder="grid"
+    )
+
+    brute_s: Optional[float] = None
+    if nodes <= brute_cap:
+        brute_s = _best_of(
+            repeats,
+            lambda: Topology.from_positions(
+                positions,
+                transmission_range=DEFAULT_TRANSMISSION_RANGE,
+                builder="brute",
+            ),
+        )
+
+    _, mean_degree, _ = topology.degree_statistics()
+    return {
+        "nodes": int(nodes),
+        "terrain": terrain,
+        "transmission_range": DEFAULT_TRANSMISSION_RANGE,
+        "layout_ms": layout_s * 1e3,
+        "grid_ms": grid_s * 1e3,
+        "brute_ms": brute_s * 1e3 if brute_s is not None else None,
+        "speedup": brute_s / grid_s if brute_s is not None else None,
+        "edges": int(topology.edge_count),
+        "mean_degree": float(mean_degree),
+        "repeats": int(max(1, repeats)),
+    }
+
+
+def run_setup_bench(
+    node_counts: Optional[Sequence[int]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+) -> Dict:
+    """Measure the setup sweep and return the ``BENCH_setup`` payload."""
+    if node_counts is None:
+        node_counts = QUICK_SETUP_NODES if quick else DEFAULT_SETUP_NODES
+    rows = [measure_setup(int(nodes), repeats=repeats) for nodes in node_counts]
+    return {
+        "schema": BENCH_SETUP_SCHEMA,
+        "benchmark": "setup",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "brute_cap": _SETUP_BRUTE_CAP,
+        "sizes": rows,
+    }
+
+
+def render_setup_table(payload: Dict) -> str:
+    """The human-readable table mirrored to ``results/setup.txt``."""
+    lines = [
+        "Scenario setup cost (serpentine layout on density-preserving "
+        "terrain, paper transmission range; best of repeated builds)",
+        "",
+        f"{'nodes':>8} {'terrain m':>10} {'layout ms':>11} {'grid ms':>10} "
+        f"{'brute ms':>11} {'speedup':>9} {'edges':>8} {'degree':>7}",
+    ]
+    for row in payload["sizes"]:
+        if row["brute_ms"] is None:
+            brute_cell = f"{'-':>11} {'-':>9}"
+        else:
+            brute_cell = f"{row['brute_ms']:>11.1f} {row['speedup']:>8.1f}x"
+        lines.append(
+            f"{row['nodes']:>8} {row['terrain']:>10.1f} "
+            f"{row['layout_ms']:>11.2f} {row['grid_ms']:>10.2f} "
+            + brute_cell
+            + f" {row['edges']:>8} {row['mean_degree']:>7.2f}"
+        )
+    lines += [
+        "",
+        f"brute oracle measured up to {payload['brute_cap']} nodes "
+        "(O(n^2); larger sizes report the grid build only).",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def check_setup_floor(
+    setup: Dict, floor: float, floor_nodes: int
+) -> Tuple[bool, str]:
+    """Regression guard for scenario setup: the grid-vs-brute build speedup
+    at ``floor_nodes`` must be at least ``floor``.  Same never-vacuous
+    contract as :func:`check_speedup_floor` -- a missing size *or* a size
+    where the brute oracle was not measured fails.
+    """
+    for row in setup["sizes"]:
+        if row["nodes"] == floor_nodes:
+            speedup = row.get("speedup")
+            if speedup is None:
+                return False, (
+                    f"setup guard error: brute oracle not measured at "
+                    f"{floor_nodes} nodes (above the brute cap "
+                    f"{setup.get('brute_cap')}?)"
+                )
+            ok = speedup >= floor
+            verdict = "ok" if ok else "REGRESSION"
+            return ok, (
+                f"setup guard {verdict}: grid build speedup {speedup:.1f}x "
+                f"at {floor_nodes} nodes (floor {floor:.1f}x)"
+            )
+    return False, (
+        f"setup guard error: {floor_nodes} nodes not in the measured sweep "
+        f"{[row['nodes'] for row in setup['sizes']]}"
+    )
+
+
 def write_bench_artifacts(
-    output_dir, hotpath: Optional[Dict] = None, e2e: Optional[Dict] = None
+    output_dir,
+    hotpath: Optional[Dict] = None,
+    e2e: Optional[Dict] = None,
+    setup: Optional[Dict] = None,
 ) -> List[Path]:
-    """Write ``BENCH_hotpath.json`` / ``BENCH_e2e.json`` under
-    ``output_dir`` and return the written paths."""
+    """Write ``BENCH_hotpath.json`` / ``BENCH_e2e.json`` /
+    ``BENCH_setup.json`` under ``output_dir`` and return the written
+    paths."""
     root = Path(output_dir)
     root.mkdir(parents=True, exist_ok=True)
     written = []
-    for name, payload in (("BENCH_hotpath.json", hotpath), ("BENCH_e2e.json", e2e)):
+    for name, payload in (
+        ("BENCH_hotpath.json", hotpath),
+        ("BENCH_e2e.json", e2e),
+        ("BENCH_setup.json", setup),
+    ):
         if payload is None:
             continue
         path = root / name

@@ -219,6 +219,34 @@ def build_parser() -> argparse.ArgumentParser:
         "failure a readable old-vs-new per-window report is printed "
         "instead of the bare verdict",
     )
+    bench.add_argument(
+        "--setup",
+        action="store_true",
+        help="run the scenario-setup benchmark (layout + grid-vs-brute "
+        "topology build, emits BENCH_setup.json) instead of the "
+        "hotpath/e2e suites",
+    )
+    bench.add_argument(
+        "--setup-nodes",
+        metavar="CSV",
+        default=None,
+        help="comma-separated node counts for --setup (default: "
+        "1024,4096,16384; 512,2048 with --quick)",
+    )
+    bench.add_argument(
+        "--setup-floor",
+        type=float,
+        default=4.0,
+        help="with --setup --check, minimum acceptable grid-vs-brute "
+        "build speedup (default: 4.0)",
+    )
+    bench.add_argument(
+        "--setup-floor-nodes",
+        type=int,
+        default=2048,
+        help="node count the --setup-floor is evaluated at "
+        "(default: 2048)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -373,13 +401,48 @@ def _command_bench(args: argparse.Namespace) -> int:
         DEFAULT_WINDOWS,
         QUICK_WINDOWS,
         check_batched_floor,
+        check_setup_floor,
         check_speedup_floor,
         render_hotpath_table,
         render_regression_report,
+        render_setup_table,
         run_e2e_bench,
         run_hotpath_bench,
+        run_setup_bench,
         write_bench_artifacts,
     )
+
+    if args.setup:
+        if args.setup_nodes:
+            try:
+                setup_nodes = tuple(
+                    int(token)
+                    for token in args.setup_nodes.split(",")
+                    if token.strip()
+                )
+            except ValueError:
+                print(f"error: --setup-nodes must be a CSV of integers, got "
+                      f"{args.setup_nodes!r}", file=sys.stderr)
+                return 2
+            if not setup_nodes or any(n < 2 for n in setup_nodes):
+                print("error: --setup-nodes needs at least one count >= 2",
+                      file=sys.stderr)
+                return 2
+        else:
+            setup_nodes = None
+        setup = run_setup_bench(node_counts=setup_nodes, quick=args.quick)
+        print(render_setup_table(setup))
+        written = write_bench_artifacts(args.output_dir, setup=setup)
+        for path in written:
+            print(f"wrote {path}")
+        if args.check:
+            ok, message = check_setup_floor(
+                setup, args.setup_floor, args.setup_floor_nodes
+            )
+            print(message)
+            if not ok:
+                return 1
+        return 0
 
     if args.windows:
         try:

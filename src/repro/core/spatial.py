@@ -1,0 +1,400 @@
+"""Spatial neighbor index: a uniform grid over flat coordinate arrays.
+
+Scenario setup used to be the quadratic wall of this repository: building the
+unit-disk graph compared all O(n^2) node pairs, and ``random_layout``
+re-scanned every placed node for each candidate.  This module provides the
+sub-quadratic primitives both now run on:
+
+* :class:`GridIndex` -- a uniform grid (cell size chosen near the query
+  radius, typically the transmission range) over flat numpy ``xs``/``ys``
+  arrays.  Points are bucketed by cell with one stable ``argsort`` over the
+  cell keys (O(n log n)); the grid then answers
+
+  - :meth:`GridIndex.pairs_within_radius` -- every unordered point pair at
+    Euclidean distance <= radius, computed as per-cell block distance
+    kernels (one vectorized pass per forward cell offset), the kernel
+    :class:`~repro.network.topology.Topology` builds its edge set from;
+  - :meth:`GridIndex.query_radius` -- all indexed points within a radius of
+    an arbitrary query position;
+  - :meth:`GridIndex.k_nearest` -- the k nearest indexed points, by
+    expanding cell rings until the k-th candidate provably cannot be beaten
+    by any unvisited cell.
+
+* :func:`brute_force_pairs` -- the scalar O(n^2) double loop, kept as the
+  **oracle**: it mirrors, call for call, the comparison the original
+  ``Topology._build_graph`` made (``math.hypot(dx, dy) <= radius``).
+
+Bit-identical edge sets
+-----------------------
+The oracle's membership test is CPython's ``math.hypot``, which is
+correctly rounded (error <= 0.5 ulp) and does *not* agree to the last bit
+with ``sqrt(dx*dx + dy*dy)`` or ``numpy.hypot``.  The grid kernels therefore
+never decide membership from a vectorized distance alone.  Candidates are
+classified by their squared distance against a guard band around
+``radius**2``:
+
+* ``sq <= r2 * (1 - _EXACT_BAND)``  -- accepted outright (the true distance
+  is certainly below the radius, so the oracle would accept too);
+* ``sq >  r2 * (1 + _EXACT_BAND)``  -- rejected outright (symmetrically);
+* inside the band -- re-tested with the *same scalar expression the oracle
+  uses*, ``math.hypot(xs[a] - xs[b], ys[a] - ys[b]) <= radius``.
+
+``_EXACT_BAND`` (1e-9, relative) exceeds the worst-case relative error of
+the vectorized squared distance (a few ulp, ~1e-15) by six orders of
+magnitude, so no pair can be mis-classified by the fast path; pairs near the
+boundary -- including the adversarial "distance exactly equal to the
+transmission range" case -- always reach the scalar oracle expression.
+``tests/test_spatial.py`` enforces the equivalence across every registered
+layout generator.
+
+Cell-reach safety
+-----------------
+A pair at distance <= r can span at most ``ceil(r / cell)`` cells per axis
+in exact arithmetic, but the floating-point cell assignment
+(``floor(x / cell)``) can push a boundary-straddling point one cell further.
+Queries therefore scan ``reach = floor(r / (cell * (1 - 1e-9))) + 1`` cells
+in each direction: any pair separated by more than ``reach`` cells has
+coordinate distance > ``reach * cell * (1 - 1e-9)`` >= r even after
+worst-case assignment error, so it cannot be within the radius.  With
+``cell == r`` this makes ``reach = 2`` (a 5x5 neighborhood) -- slightly
+wider than the textbook 3x3, in exchange for provable exactness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["GridIndex", "brute_force_pairs"]
+
+#: Relative half-width of the squared-distance guard band around
+#: ``radius**2``; candidates inside the band fall back to the scalar
+#: ``math.hypot`` oracle expression (see module docstring).
+_EXACT_BAND = 1e-9
+
+
+def brute_force_pairs(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All unordered index pairs within ``radius``, by the O(n^2) oracle.
+
+    This is, deliberately, the scalar double loop the original topology
+    builder ran: every pair is tested with ``math.hypot(dx, dy) <= radius``.
+    It stays selectable (``Topology(..., builder="brute")``) as the ground
+    truth the grid kernel is validated against.
+    """
+    xs_list = [float(value) for value in xs]
+    ys_list = [float(value) for value in ys]
+    count = len(xs_list)
+    first: List[int] = []
+    second: List[int] = []
+    for i in range(count):
+        xi = xs_list[i]
+        yi = ys_list[i]
+        for j in range(i + 1, count):
+            if math.hypot(xi - xs_list[j], yi - ys_list[j]) <= radius:
+                first.append(i)
+                second.append(j)
+    return (
+        np.asarray(first, dtype=np.int64),
+        np.asarray(second, dtype=np.int64),
+    )
+
+
+class GridIndex:
+    """Uniform-grid spatial index over flat ``xs``/``ys`` coordinate arrays.
+
+    Parameters
+    ----------
+    xs, ys:
+        Point coordinates (equal-length 1-d arrays; any float sequence).
+        Point *indices* (positions in these arrays) are what every query
+        returns.
+    cell_size:
+        Grid cell side length in the same unit as the coordinates.  Choose
+        it near the dominant query radius (the transmission range): much
+        smaller cells inflate the bucket count, much larger cells inflate
+        the candidate blocks.
+    """
+
+    def __init__(self, xs, ys, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ConfigurationError(
+                f"cell_size must be positive, got {cell_size}"
+            )
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        if xs.ndim != 1 or xs.shape != ys.shape:
+            raise ConfigurationError(
+                "xs and ys must be 1-d arrays of equal length, got shapes "
+                f"{xs.shape} and {ys.shape}"
+            )
+        self._xs = xs
+        self._ys = ys
+        self._cell = float(cell_size)
+        count = xs.size
+        if count == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._cell_keys = np.empty(0, dtype=np.int64)
+            self._cell_cx = np.empty(0, dtype=np.int64)
+            self._cell_cy = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._counts = np.empty(0, dtype=np.int64)
+            self._cx0 = 0
+            self._cy0 = 0
+            self._ncy = 1
+            return
+        cx = np.floor(xs / self._cell).astype(np.int64)
+        cy = np.floor(ys / self._cell).astype(np.int64)
+        self._cx0 = int(cx.min())
+        self._cy0 = int(cy.min())
+        cx -= self._cx0
+        cy -= self._cy0
+        #: Row stride of the (collision-checked) linear cell key.
+        self._ncy = int(cy.max()) + 1
+        keys = cx * self._ncy + cy
+        order = np.argsort(keys, kind="stable")
+        self._order = order.astype(np.int64)
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        self._starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), boundaries)
+        )
+        stops = np.concatenate((boundaries, np.array([count], dtype=np.int64)))
+        self._counts = stops - self._starts
+        self._cell_keys = sorted_keys[self._starts]
+        self._cell_cx = cx[order][self._starts]
+        self._cell_cy = cy[order][self._starts]
+
+    def __len__(self) -> int:
+        return int(self._xs.size)
+
+    @property
+    def cell_size(self) -> float:
+        return self._cell
+
+    @property
+    def occupied_cells(self) -> int:
+        """Number of non-empty grid cells (empty cells are never stored)."""
+        return int(self._cell_keys.size)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reach(self, radius: float) -> int:
+        """Cells to scan per axis so no pair within ``radius`` is missed."""
+        return int(math.floor(radius / (self._cell * (1.0 - 1e-9)))) + 1
+
+    def _cell_slot(self, cx: int, cy: int) -> int:
+        """Slot of cell ``(cx, cy)`` in the sorted cell table, or -1."""
+        if not 0 <= cy < self._ncy or cx < 0:
+            return -1
+        key = cx * self._ncy + cy
+        slot = int(np.searchsorted(self._cell_keys, key))
+        if slot < self._cell_keys.size and int(self._cell_keys[slot]) == key:
+            return slot
+        return -1
+
+    def _within_mask(
+        self, first: np.ndarray, second: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Exact membership mask for candidate index pairs (see module doc)."""
+        xs = self._xs
+        ys = self._ys
+        dx = xs[first] - xs[second]
+        dy = ys[first] - ys[second]
+        sq = dx * dx + dy * dy
+        r2 = radius * radius
+        keep = sq <= r2 * (1.0 - _EXACT_BAND)
+        band = np.flatnonzero(~keep & (sq <= r2 * (1.0 + _EXACT_BAND)))
+        for position in band.tolist():
+            a = int(first[position])
+            b = int(second[position])
+            keep[position] = math.hypot(xs[a] - xs[b], ys[a] - ys[b]) <= radius
+        return keep
+
+    def _point_within_mask(
+        self, x: float, y: float, candidates: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Exact membership mask for candidates around a query position."""
+        xs = self._xs
+        ys = self._ys
+        dx = x - xs[candidates]
+        dy = y - ys[candidates]
+        sq = dx * dx + dy * dy
+        r2 = radius * radius
+        keep = sq <= r2 * (1.0 - _EXACT_BAND)
+        band = np.flatnonzero(~keep & (sq <= r2 * (1.0 + _EXACT_BAND)))
+        for position in band.tolist():
+            index = int(candidates[position])
+            keep[position] = (
+                math.hypot(x - xs[index], y - ys[index]) <= radius
+            )
+        return keep
+
+    def _window_candidates(
+        self, cx: int, cy: int, reach: int
+    ) -> np.ndarray:
+        """Point indices in the ``(2*reach+1)^2`` cell window around a cell."""
+        blocks: List[np.ndarray] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                slot = self._cell_slot(cx + dx, cy + dy)
+                if slot < 0:
+                    continue
+                start = int(self._starts[slot])
+                blocks.append(self._order[start : start + int(self._counts[slot])])
+        if not blocks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(blocks)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pairs_within_radius(
+        self, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Every unordered index pair at distance <= ``radius``.
+
+        Returns two equally long int64 arrays ``(first, second)`` with
+        ``first < second``, sorted lexicographically -- byte-identical in
+        content to :func:`brute_force_pairs` on the same inputs.
+
+        The kernel visits each non-empty cell once: intra-cell pairs come
+        from one upper-triangle block per multi-occupancy cell, and
+        inter-cell pairs from one globally vectorized pass per *forward*
+        cell offset (so each cell pair is enumerated exactly once).
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be >= 0, got {radius}")
+        count = self._xs.size
+        if count < 2:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        reach = self._reach(radius)
+        first_blocks: List[np.ndarray] = []
+        second_blocks: List[np.ndarray] = []
+
+        # Intra-cell pairs: upper triangle of each multi-occupancy cell.
+        multi = np.flatnonzero(self._counts >= 2)
+        for slot in multi.tolist():
+            start = int(self._starts[slot])
+            block = self._order[start : start + int(self._counts[slot])]
+            iu, ju = np.triu_indices(block.size, k=1)
+            first_blocks.append(block[iu])
+            second_blocks.append(block[ju])
+
+        # Inter-cell pairs: one vectorized pass per forward cell offset.
+        ncells = self._cell_keys.size
+        slot_of_point = np.repeat(np.arange(ncells, dtype=np.int64), self._counts)
+        for dx in range(0, reach + 1):
+            for dy in range(-reach, reach + 1):
+                if dx == 0 and dy <= 0:
+                    continue
+                target_cx = self._cell_cx + dx
+                target_cy = self._cell_cy + dy
+                geometric = (target_cy >= 0) & (target_cy < self._ncy)
+                target_keys = target_cx * self._ncy + target_cy
+                positions = np.searchsorted(self._cell_keys, target_keys)
+                clipped = np.minimum(positions, ncells - 1)
+                found = geometric & (self._cell_keys[clipped] == target_keys)
+                if not found.any():
+                    continue
+                # Per *source point*: how many points live in its matched
+                # neighbor cell, and where that cell's block starts.
+                per_cell_count = np.where(found, self._counts[clipped], 0)
+                per_cell_start = self._starts[clipped]
+                point_count = per_cell_count[slot_of_point]
+                point_start = per_cell_start[slot_of_point]
+                total = int(point_count.sum())
+                if total == 0:
+                    continue
+                source_positions = np.repeat(
+                    np.arange(count, dtype=np.int64), point_count
+                )
+                run_starts = np.cumsum(point_count) - point_count
+                target_positions = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(run_starts, point_count)
+                    + np.repeat(point_start, point_count)
+                )
+                first_blocks.append(self._order[source_positions])
+                second_blocks.append(self._order[target_positions])
+
+        if not first_blocks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        first = np.concatenate(first_blocks)
+        second = np.concatenate(second_blocks)
+        keep = self._within_mask(first, second, radius)
+        first = first[keep]
+        second = second[keep]
+        low = np.minimum(first, second)
+        high = np.maximum(first, second)
+        order = np.lexsort((high, low))
+        return low[order], high[order]
+
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Indices of all points at distance <= ``radius`` from ``(x, y)``.
+
+        Returned in ascending index order.  The query position need not be
+        an indexed point.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be >= 0, got {radius}")
+        if self._xs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        reach = self._reach(radius)
+        cx = int(math.floor(x / self._cell)) - self._cx0
+        cy = int(math.floor(y / self._cell)) - self._cy0
+        candidates = self._window_candidates(cx, cy, reach)
+        if candidates.size == 0:
+            return candidates
+        keep = self._point_within_mask(float(x), float(y), candidates, radius)
+        return np.sort(candidates[keep])
+
+    def k_nearest(self, x: float, y: float, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest points to ``(x, y)``.
+
+        Ordered by ascending distance, ties broken by ascending index (a
+        total, deterministic order).  Returns all points when ``k`` exceeds
+        the index size.  The search expands the cell window ring by ring and
+        stops once the current k-th distance provably beats every unvisited
+        cell: a point outside a window of half-width ``w`` cells is at
+        coordinate distance > ``(w - 1) * cell`` from the query.
+        """
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        count = self._xs.size
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        k = min(k, count)
+        cx = int(math.floor(x / self._cell)) - self._cx0
+        cy = int(math.floor(y / self._cell)) - self._cy0
+        max_cx = int(self._cell_cx.max())
+        max_cy = int(self._cell_cy.max())
+        # A window this wide covers every occupied cell from any query cell.
+        max_reach = max(
+            cx, max_cx - cx, cy, max_cy - cy, 1
+        )
+        reach = 1
+        while True:
+            candidates = self._window_candidates(cx, cy, reach)
+            if candidates.size >= k or reach >= max_reach:
+                dx = float(x) - self._xs[candidates]
+                dy = float(y) - self._ys[candidates]
+                distances = np.sqrt(dx * dx + dy * dy)
+                ranking = np.lexsort((candidates, distances))
+                selected = candidates[ranking[:k]]
+                chosen = distances[ranking[:k]]
+                guaranteed = (reach - 1) * self._cell
+                if (
+                    reach >= max_reach
+                    or (selected.size == k and chosen[-1] <= guaranteed)
+                ):
+                    return selected
+            reach += 1

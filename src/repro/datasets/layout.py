@@ -120,23 +120,64 @@ def random_layout(
     min_spacing: float = 1.0,
     max_attempts: int = 10_000,
 ) -> Dict[int, Tuple[float, float]]:
-    """Uniform random placement with a minimum pairwise spacing."""
+    """Uniform random placement with a minimum pairwise spacing.
+
+    The spacing check buckets placed points into a grid of
+    ``min_spacing``-sized cells, so each candidate is tested with
+    ``math.hypot`` only against the points in its 5x5 cell neighborhood --
+    any point outside that window is more than ``2 * min_spacing`` away.
+    The RNG draw sequence and every accept/reject decision are identical to
+    the historical scan over all placed points, so a given
+    ``(node_count, terrain_size, seed)`` yields the same positions.
+    """
     if node_count < 1:
         raise DatasetError(f"node_count must be >= 1, got {node_count}")
     rng = random.Random(seed)
     positions: Dict[int, Tuple[float, float]] = {}
+    buckets: Dict[Tuple[int, int], list] = {}
+    cell = min_spacing if min_spacing > 0 else 0.0
+
+    def far_enough(x: float, y: float) -> bool:
+        if cell == 0.0:
+            return True
+        cell_x = math.floor(x / cell)
+        cell_y = math.floor(y / cell)
+        for dx in (-2, -1, 0, 1, 2):
+            for dy in (-2, -1, 0, 1, 2):
+                for px, py in buckets.get((cell_x + dx, cell_y + dy), ()):
+                    if math.hypot(x - px, y - py) < min_spacing:
+                        return False
+        return True
+
     attempts = 0
     while len(positions) < node_count:
         attempts += 1
         if attempts > max_attempts:
+            # An upper bound on how many points with pairwise spacing >= s
+            # fit in an L x L square (each point owns a disjoint s/2-radius
+            # disk inside the square grown by s/2 on every side).
+            density_bound = (
+                math.floor(
+                    (terrain_size + min_spacing) ** 2
+                    / (math.pi * (min_spacing / 2.0) ** 2)
+                )
+                if min_spacing > 0
+                else node_count
+            )
             raise DatasetError(
-                "could not place all nodes with the requested minimum spacing; "
-                "reduce min_spacing or node_count"
+                f"placed only {len(positions)} of {node_count} nodes after "
+                f"{max_attempts} attempts: a {terrain_size:g} m x "
+                f"{terrain_size:g} m terrain fits at most ~{density_bound} "
+                f"points at min_spacing {min_spacing:g} m; reduce node_count "
+                "or min_spacing, or enlarge the terrain"
             )
         candidate = (rng.uniform(0, terrain_size), rng.uniform(0, terrain_size))
-        if all(
-            math.hypot(candidate[0] - x, candidate[1] - y) >= min_spacing
-            for x, y in positions.values()
-        ):
+        if far_enough(candidate[0], candidate[1]):
             positions[len(positions)] = candidate
+            if cell > 0.0:
+                key = (
+                    math.floor(candidate[0] / cell),
+                    math.floor(candidate[1] / cell),
+                )
+                buckets.setdefault(key, []).append(candidate)
     return positions

@@ -201,7 +201,9 @@ class WirelessChannel:
         self.stats.bytes_transmitted += packet.size_bytes
 
         delay = airtime + self.processing_delay
-        for neighbor_id in sorted(self.topology.neighbors(sender_id)):
+        # Cached ascending-id tuple: same iteration (and loss-draw) order the
+        # historical ``sorted(set)`` produced, without rebuilding it per send.
+        for neighbor_id in self.topology.neighbors_sorted(sender_id):
             receiver = self._nodes.get(neighbor_id)
             if receiver is None or not receiver.up:
                 # A powered-down receiver's radio is off: no promiscuous

@@ -6,8 +6,27 @@ directly when their Euclidean distance does not exceed the range (the classic
 unit-disk graph model, which is also what SENSE's free-space propagation with
 a fixed reception threshold produces).
 
-:class:`Topology` builds and queries that graph: neighbor sets, connectivity,
-hop distances, and the shortest-path trees the centralized baseline uses.
+:class:`Topology` builds and queries that graph.  Construction runs through
+the uniform-grid spatial index (:class:`~repro.core.spatial.GridIndex`, cell
+size = transmission range): bucketing is one O(n log n) argsort and the edge
+set comes from per-cell block distance kernels, so a 16k-node deployment
+builds in tens of milliseconds where the historical all-pairs double loop
+took minutes.  That double loop is retained, selectable with
+``builder="brute"``, as the oracle the grid path is validated against --
+``tests/test_spatial.py`` proves both builders produce bit-identical edge
+sets on every registered layout generator.
+
+The hot queries (neighbors, BFS hop distances, shortest-path trees,
+connectivity) run on CSR-style flat adjacency arrays built once at
+construction; a :mod:`networkx` view of the same graph is available behind
+the lazily-built :meth:`Topology.graph` compatibility accessor but is never
+needed on the simulation path.
+
+Determinism: neighbor lists are exposed in ascending node-id order, BFS
+explores neighbors in that order with a FIFO frontier, so every derived
+structure (hop distances, shortest-path trees and their tie-breaks) is a
+pure function of the placement set -- and matches what the historical
+networkx traversals produced for id-ordered placements.
 """
 
 from __future__ import annotations
@@ -16,9 +35,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-import networkx as nx
+import numpy as np
 
 from ..core.errors import TopologyError
+from ..core.spatial import GridIndex, brute_force_pairs
 
 __all__ = ["NodePlacement", "Topology"]
 
@@ -48,18 +68,29 @@ class Topology:
         Node placements; identifiers must be unique.
     transmission_range:
         Maximum distance (metres) at which two nodes hear each other.
+    builder:
+        ``"grid"`` (default) builds the edge set through the uniform-grid
+        spatial index; ``"brute"`` runs the historical O(n^2) double loop.
+        Both produce bit-identical edge sets -- ``"brute"`` exists as the
+        oracle for equivalence tests and benchmarks.
     """
 
     def __init__(
         self,
         placements: Iterable[NodePlacement],
         transmission_range: float,
+        builder: str = "grid",
     ) -> None:
         if transmission_range <= 0:
             raise TopologyError(
                 f"transmission range must be positive, got {transmission_range}"
             )
+        if builder not in ("grid", "brute"):
+            raise TopologyError(
+                f"unknown topology builder {builder!r}; expected 'grid' or 'brute'"
+            )
         self.transmission_range = float(transmission_range)
+        self.builder = builder
         self._placements: Dict[int, NodePlacement] = {}
         for placement in placements:
             if placement.node_id in self._placements:
@@ -67,46 +98,101 @@ class Topology:
             self._placements[placement.node_id] = placement
         if not self._placements:
             raise TopologyError("a topology needs at least one node")
-        self._graph = self._build_graph()
+
+        # Flat arrays in ascending-id order; ``index`` below means a node's
+        # rank in this order.
+        self._node_ids: List[int] = sorted(self._placements)
+        self._index_of: Dict[int, int] = {
+            node_id: index for index, node_id in enumerate(self._node_ids)
+        }
+        self._xs = np.array(
+            [self._placements[n].x for n in self._node_ids], dtype=np.float64
+        )
+        self._ys = np.array(
+            [self._placements[n].y for n in self._node_ids], dtype=np.float64
+        )
+
+        self._grid: Optional[GridIndex] = None
+        if builder == "grid":
+            self._grid = GridIndex(
+                self._xs, self._ys, cell_size=self.transmission_range
+            )
+            edge_a, edge_b = self._grid.pairs_within_radius(
+                self.transmission_range
+            )
+        else:
+            edge_a, edge_b = brute_force_pairs(
+                self._xs, self._ys, self.transmission_range
+            )
+        self._edge_a = edge_a
+        self._edge_b = edge_b
+
+        # CSR adjacency: ``_indptr[i]:_indptr[i+1]`` slices ``_adjacency_flat``
+        # into node i's neighbor indices, ascending.
+        count = len(self._node_ids)
+        if edge_a.size:
+            heads = np.concatenate((edge_a, edge_b))
+            tails = np.concatenate((edge_b, edge_a))
+            order = np.lexsort((tails, heads))
+            heads = heads[order]
+            tails = tails[order]
+            degrees = np.bincount(heads, minlength=count)
+        else:
+            tails = np.empty(0, dtype=np.int64)
+            degrees = np.zeros(count, dtype=np.int64)
+        self._indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._indptr[1:])
+        self._adjacency_flat = tails
+
+        # Python-native mirrors of the CSR rows: BFS iterates these (no
+        # numpy scalar boxing on the hot path), and the id-typed tuples keep
+        # ``np.int64`` out of JSON payloads and dict keys downstream.
+        flat_indices: List[int] = tails.tolist()
+        self._adj_index_lists: List[List[int]] = [
+            flat_indices[self._indptr[i] : self._indptr[i + 1]]
+            for i in range(count)
+        ]
+        self._neighbor_ids: List[Tuple[int, ...]] = [
+            tuple(self._node_ids[j] for j in row)
+            for row in self._adj_index_lists
+        ]
+        self._adjacency_cache: Optional[Dict[int, Set[int]]] = None
+        self._connected: Optional[bool] = None
+        self._components_cache: Optional[List[List[int]]] = None
+        self._nx_graph = None
 
     @classmethod
     def from_positions(
         cls,
         positions: Mapping[int, Tuple[float, float]],
         transmission_range: float,
+        builder: str = "grid",
     ) -> "Topology":
         """Build a topology from a ``{node_id: (x, y)}`` mapping."""
         placements = [
             NodePlacement(node_id, float(x), float(y))
             for node_id, (x, y) in positions.items()
         ]
-        return cls(placements, transmission_range)
-
-    def _build_graph(self) -> nx.Graph:
-        graph = nx.Graph()
-        for placement in self._placements.values():
-            graph.add_node(placement.node_id, pos=placement.position)
-        nodes = list(self._placements.values())
-        for i, a in enumerate(nodes):
-            for b in nodes[i + 1 :]:
-                dist = a.distance_to(b)
-                if dist <= self.transmission_range:
-                    graph.add_edge(a.node_id, b.node_id, distance=dist)
-        return graph
+        return cls(placements, transmission_range, builder=builder)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def node_ids(self) -> List[int]:
-        """Sorted node identifiers."""
-        return sorted(self._placements)
+        """Node identifiers in ascending order (cached; treat as read-only)."""
+        return self._node_ids
 
     def __len__(self) -> int:
         return len(self._placements)
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._placements
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected links in the unit-disk graph."""
+        return int(self._edge_a.size)
 
     def placement(self, node_id: int) -> NodePlacement:
         try:
@@ -121,83 +207,254 @@ class Topology:
         """Euclidean distance between two nodes, in metres."""
         return self.placement(a).distance_to(self.placement(b))
 
+    def _index(self, node_id: int) -> int:
+        try:
+            return self._index_of[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
     def neighbors(self, node_id: int) -> Set[int]:
-        """Single-hop neighbors of ``node_id`` (nodes within range)."""
-        if node_id not in self._placements:
-            raise TopologyError(f"unknown node id {node_id}")
-        return set(self._graph.neighbors(node_id))
+        """Single-hop neighbors of ``node_id`` (a fresh, mutable set)."""
+        return set(self._neighbor_ids[self._index(node_id)])
+
+    def neighbors_sorted(self, node_id: int) -> Tuple[int, ...]:
+        """Single-hop neighbors in ascending id order (cached tuple).
+
+        The channel and the fault runtime iterate this on every broadcast
+        and every repair notification; the tuple is built once at
+        construction, so the per-call cost is one dict lookup.
+        """
+        return self._neighbor_ids[self._index(node_id)]
 
     def adjacency(self) -> Dict[int, Set[int]]:
-        """The full neighbor map ``{node_id: set(neighbors)}``."""
-        return {node_id: self.neighbors(node_id) for node_id in self.node_ids}
+        """The full neighbor map ``{node_id: set(neighbors)}``.
+
+        Built once and cached; callers must treat the returned mapping as
+        read-only (every in-tree consumer does).
+        """
+        if self._adjacency_cache is None:
+            self._adjacency_cache = {
+                node_id: set(self._neighbor_ids[index])
+                for index, node_id in enumerate(self._node_ids)
+            }
+        return self._adjacency_cache
 
     def degree_statistics(self) -> Tuple[int, float, int]:
         """(min, mean, max) node degree -- handy for sanity-checking density."""
-        degrees = [self._graph.degree(n) for n in self.node_ids]
-        return (min(degrees), sum(degrees) / len(degrees), max(degrees))
+        degrees = np.diff(self._indptr)
+        return (
+            int(degrees.min()),
+            float(degrees.mean()),
+            int(degrees.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Connectivity (union-find over the edge arrays)
+    # ------------------------------------------------------------------
+    def _components(self) -> List[List[int]]:
+        """Connected components as sorted id lists (cached)."""
+        if self._components_cache is not None:
+            return self._components_cache
+        count = len(self._node_ids)
+        parent = list(range(count))
+
+        def find(index: int) -> int:
+            root = index
+            while parent[root] != root:
+                root = parent[root]
+            while parent[index] != root:
+                parent[index], index = root, parent[index]
+            return root
+
+        for a, b in zip(self._edge_a.tolist(), self._edge_b.tolist()):
+            root_a = find(a)
+            root_b = find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+        groups: Dict[int, List[int]] = {}
+        for index in range(count):
+            groups.setdefault(find(index), []).append(index)
+        self._components_cache = sorted(
+            (sorted(self._node_ids[i] for i in members)
+             for members in groups.values()),
+            key=lambda component: component[0],
+        )
+        self._connected = len(self._components_cache) == 1
+        return self._components_cache
 
     def is_connected(self) -> bool:
         """True when a (multi-hop) path exists between every pair of nodes."""
-        return nx.is_connected(self._graph)
+        if self._connected is None:
+            self._components()
+        return bool(self._connected)
 
     def require_connected(self) -> None:
         """Raise :class:`TopologyError` when the network is partitioned."""
         if not self.is_connected():
-            components = [sorted(c) for c in nx.connected_components(self._graph)]
+            components = self._components()
             raise TopologyError(
                 f"network is not connected: {len(components)} components {components}"
             )
 
+    # ------------------------------------------------------------------
+    # BFS (FIFO frontier, ascending-id neighbor order)
+    # ------------------------------------------------------------------
+    def _bfs(
+        self,
+        source_index: int,
+        max_hops: Optional[int] = None,
+        target_index: Optional[int] = None,
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """Breadth-first search over the CSR adjacency.
+
+        Returns ``(order, distances, parents)``: visited indices in
+        discovery order, per-index hop counts (-1 = unreached) and per-index
+        BFS-tree parents (-1 = none).  Stops early at ``max_hops`` levels or
+        when ``target_index`` is dequeued.
+        """
+        count = len(self._node_ids)
+        distances = [-1] * count
+        parents = [-1] * count
+        distances[source_index] = 0
+        visit_order = [source_index]
+        frontier = [source_index]
+        adjacency = self._adj_index_lists
+        depth = 0
+        while frontier:
+            if max_hops is not None and depth >= max_hops:
+                break
+            if target_index is not None and distances[target_index] >= 0:
+                break
+            depth += 1
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if distances[neighbor] < 0:
+                        distances[neighbor] = depth
+                        parents[neighbor] = node
+                        visit_order.append(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return visit_order, distances, parents
+
     def hop_distance(self, a: int, b: int) -> int:
         """Number of hops on a shortest path between two nodes."""
-        try:
-            return nx.shortest_path_length(self._graph, a, b)
-        except nx.NetworkXNoPath:
-            raise TopologyError(f"no path between nodes {a} and {b}") from None
+        index_a = self._index(a)
+        index_b = self._index(b)
+        _, distances, _ = self._bfs(index_a, target_index=index_b)
+        hops = distances[index_b]
+        if hops < 0:
+            raise TopologyError(f"no path between nodes {a} and {b}")
+        return hops
 
     def hop_distances_from(self, source: int) -> Dict[int, int]:
         """Hop distance from ``source`` to every reachable node."""
-        return dict(nx.single_source_shortest_path_length(self._graph, source))
+        visit_order, distances, _ = self._bfs(self._index(source))
+        return {
+            self._node_ids[index]: distances[index] for index in visit_order
+        }
 
     def nodes_within_hops(self, source: int, max_hops: int) -> Set[int]:
-        """All nodes (including ``source``) at hop distance <= ``max_hops``."""
-        distances = self.hop_distances_from(source)
-        return {node for node, hops in distances.items() if hops <= max_hops}
+        """All nodes (including ``source``) at hop distance <= ``max_hops``.
+
+        Runs a depth-cutoff BFS: the traversal stops expanding at
+        ``max_hops`` levels, so the cost is proportional to the
+        neighborhood's size, not the whole network's.
+        """
+        visit_order, _, _ = self._bfs(self._index(source), max_hops=max_hops)
+        return {self._node_ids[index] for index in visit_order}
 
     def shortest_path(self, a: int, b: int) -> List[int]:
-        """One shortest path (as a list of node ids) between two nodes."""
-        try:
-            return nx.shortest_path(self._graph, a, b)
-        except nx.NetworkXNoPath:
-            raise TopologyError(f"no path between nodes {a} and {b}") from None
+        """One shortest path (as a list of node ids) between two nodes.
+
+        Deterministic: the path follows the ascending-id BFS tree rooted at
+        ``a``.
+        """
+        index_a = self._index(a)
+        index_b = self._index(b)
+        _, distances, parents = self._bfs(index_a, target_index=index_b)
+        if distances[index_b] < 0:
+            raise TopologyError(f"no path between nodes {a} and {b}")
+        reversed_path = [index_b]
+        while reversed_path[-1] != index_a:
+            reversed_path.append(parents[reversed_path[-1]])
+        return [self._node_ids[index] for index in reversed(reversed_path)]
 
     def shortest_path_tree(self, sink: int) -> Dict[int, Optional[int]]:
         """Next-hop table towards ``sink``: ``{node: next_hop_or_None}``.
 
-        The sink maps to ``None``.  Used by the static-routing variant of the
-        centralized baseline and as the ground truth AODV should discover.
+        The sink maps to ``None``; unreachable nodes are absent.  A node's
+        next hop is its parent in the BFS tree rooted at the sink, which is
+        exactly the predecessor relation the historical
+        ``networkx.single_source_shortest_path`` call produced.  Used by the
+        static-routing variant of the centralized baseline and as the ground
+        truth AODV should discover.
         """
+        sink_index = self._index(sink)
+        visit_order, _, parents = self._bfs(sink_index)
         table: Dict[int, Optional[int]] = {sink: None}
-        paths = nx.single_source_shortest_path(self._graph, sink)
-        for node, path in paths.items():
-            if node == sink:
+        for index in visit_order:
+            if index == sink_index:
                 continue
-            # path is sink -> ... -> node; the node's next hop towards the
-            # sink is the predecessor of node on that path.
-            table[node] = path[-2]
+            table[self._node_ids[index]] = self._node_ids[parents[index]]
         return table
 
     def diameter(self) -> int:
         """Longest shortest-path hop count in the (connected) network."""
         self.require_connected()
-        return nx.diameter(self._graph)
+        worst = 0
+        for index in range(len(self._node_ids)):
+            _, distances, _ = self._bfs(index)
+            worst = max(worst, max(distances))
+        return worst
 
-    def graph(self) -> nx.Graph:
-        """A copy of the underlying :class:`networkx.Graph`."""
-        return self._graph.copy()
+    # ------------------------------------------------------------------
+    # Compatibility accessors
+    # ------------------------------------------------------------------
+    def spatial_index(self) -> GridIndex:
+        """The grid index over this topology's node positions.
+
+        Built during construction for the default builder; materialised on
+        first use for the brute-force oracle builder.  Point indices in the
+        returned :class:`~repro.core.spatial.GridIndex` are positions in
+        :attr:`node_ids` (ascending-id order).
+        """
+        if self._grid is None:
+            self._grid = GridIndex(
+                self._xs, self._ys, cell_size=self.transmission_range
+            )
+        return self._grid
+
+    def graph(self):
+        """A copy of the topology as a :class:`networkx.Graph`.
+
+        networkx is only needed by callers that want generic graph
+        algorithms on top of the topology; none of the simulation path does,
+        so the graph is built lazily on first access and cached.  Edge
+        ``distance`` attributes carry the same ``math.hypot`` values the
+        historical eager builder stored.
+        """
+        if self._nx_graph is None:
+            import networkx as nx
+
+            graph = nx.Graph()
+            for node_id in self._node_ids:
+                graph.add_node(node_id, pos=self._placements[node_id].position)
+            for a, b in zip(self._edge_a.tolist(), self._edge_b.tolist()):
+                id_a = self._node_ids[a]
+                id_b = self._node_ids[b]
+                graph.add_edge(
+                    id_a,
+                    id_b,
+                    distance=self._placements[id_a].distance_to(
+                        self._placements[id_b]
+                    ),
+                )
+            self._nx_graph = graph
+        return self._nx_graph.copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Topology(nodes={len(self)}, range={self.transmission_range:g}m, "
-            f"edges={self._graph.number_of_edges()})"
+            f"edges={self.edge_count})"
         )

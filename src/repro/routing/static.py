@@ -80,16 +80,21 @@ def install_shortest_path_routes(
         if next_hop is None:
             raise RoutingError(f"node {node_id} has no path to the sink {sink}")
         agent.set_route(sink, next_hop)
-    # Reverse direction: the sink replies to every node along the same tree.
+    # Reverse direction: the sink replies to every node along the *same*
+    # tree.  Each node's parent chain to the sink is walked once (no
+    # per-destination BFS): on the sink -> node path, every hop's next step
+    # towards the node is the chain predecessor, i.e. for the chain
+    # node = c0 -> c1 -> ... -> sink, agent(c_{i+1}) routes the destination
+    # ``node`` via c_i.
     sink_agent = agents.get(sink)
     if sink_agent is None:
         return
     for node_id in topology.node_ids:
         if node_id == sink:
             continue
-        path = topology.shortest_path(sink, node_id)
-        sink_agent.set_route(node_id, path[1])
-        # Intermediate nodes on the reverse path also need an entry.
-        for position in range(1, len(path) - 1):
-            intermediate = agents[path[position]]
-            intermediate.set_route(node_id, path[position + 1])
+        step = node_id
+        parent = towards_sink[node_id]
+        while parent is not None:
+            agents[parent].set_route(node_id, step)
+            step = parent
+            parent = towards_sink[parent]

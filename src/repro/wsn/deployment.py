@@ -162,7 +162,7 @@ def build_deployment(scenario: ScenarioConfig, dataset: SensorDataset) -> Deploy
     if scenario.faults.churn_enabled:
         plan = FaultPlan.from_scenario(scenario)
         deployment.fault_runtime = FaultRuntime(
-            plan, deployment.nodes, deployment.apps, adjacency=topology.adjacency()
+            plan, deployment.nodes, deployment.apps, topology=topology
         )
 
     return deployment

@@ -61,6 +61,7 @@ from ..simulator.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..network.node import SimNode
+    from ..network.topology import Topology
     from .scenario import ScenarioConfig
 
 __all__ = ["FaultConfig", "FaultPlan", "FaultRuntime", "NodeFaultSchedule"]
@@ -371,10 +372,17 @@ class FaultRuntime:
         nodes: Dict[int, "SimNode"],
         apps: Dict[int, object],
         adjacency: Optional[Dict[int, set]] = None,
+        topology: Optional["Topology"] = None,
     ) -> None:
         self.plan = plan
         self._nodes = nodes
         self._apps = apps
+        # Preferred: query neighborhoods lazily through the topology's
+        # spatial index / CSR adjacency, so a crash or recovery touches only
+        # the affected node's own neighborhood (O(degree)), never a
+        # whole-network adjacency materialisation.  The ``adjacency`` dict
+        # remains accepted for callers that assemble runtimes by hand.
+        self._topology = topology
         self._adjacency = adjacency or {}
         self._down_depth: Dict[int, int] = {node_id: 0 for node_id in nodes}
         self.samples_taken: Dict[int, int] = {node_id: 0 for node_id in nodes}
@@ -446,8 +454,18 @@ class FaultRuntime:
             self._deliver_neighborhood(node_id)
             self._notify_neighbors(node_id)
 
+    def _neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """``node_id``'s neighbors in ascending id order.
+
+        With a topology attached this is one cached-tuple lookup
+        (O(degree)); the legacy adjacency dict is sorted on demand.
+        """
+        if self._topology is not None:
+            return self._topology.neighbors_sorted(node_id)
+        return tuple(sorted(self._adjacency.get(node_id, ())))
+
     def _notify_neighbors(self, node_id: int) -> None:
-        for neighbor_id in sorted(self._adjacency.get(node_id, ())):
+        for neighbor_id in self._neighbors(node_id):
             if self._nodes[neighbor_id].up:
                 self._deliver_neighborhood(neighbor_id)
 
@@ -457,7 +475,7 @@ class FaultRuntime:
             return
         live = {
             neighbor_id
-            for neighbor_id in self._adjacency.get(node_id, ())
+            for neighbor_id in self._neighbors(node_id)
             if self._nodes[neighbor_id].up
         }
         handler(live)

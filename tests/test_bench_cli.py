@@ -13,11 +13,15 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    BENCH_SETUP_SCHEMA,
     check_batched_floor,
+    check_setup_floor,
     check_speedup_floor,
     render_hotpath_table,
     render_regression_report,
+    render_setup_table,
     run_hotpath_bench,
+    run_setup_bench,
     write_bench_artifacts,
 )
 from repro.cli import main
@@ -129,6 +133,86 @@ class TestHotpathHarness:
         decoded = json.loads(written[0].read_text())
         assert decoded["schema"] == BENCH_SCHEMA
         assert decoded["windows"][0]["window"] == 12
+
+
+class TestSetupHarness:
+    def test_payload_schema(self):
+        payload = run_setup_bench(node_counts=(32, 64), repeats=1)
+        assert payload["schema"] == BENCH_SETUP_SCHEMA
+        assert payload["benchmark"] == "setup"
+        assert [row["nodes"] for row in payload["sizes"]] == [32, 64]
+        for row in payload["sizes"]:
+            assert row["layout_ms"] > 0
+            assert row["grid_ms"] > 0
+            assert row["brute_ms"] > 0  # well below the brute cap
+            assert row["speedup"] == pytest.approx(
+                row["brute_ms"] / row["grid_ms"]
+            )
+            assert row["edges"] > 0
+            assert row["mean_degree"] > 0
+            assert row["terrain"] > 0
+
+    def test_brute_skipped_above_cap(self):
+        from repro.bench import measure_setup
+
+        row = measure_setup(48, repeats=1, brute_cap=32)
+        assert row["brute_ms"] is None
+        assert row["speedup"] is None
+        assert row["grid_ms"] > 0
+
+    def test_render_table_lists_every_size(self):
+        payload = run_setup_bench(node_counts=(32,), repeats=1)
+        table = render_setup_table(payload)
+        assert "Scenario setup cost" in table
+        assert "      32 " in table
+        assert "brute oracle measured up to" in table
+
+    def test_render_table_dashes_uncapped_sizes(self):
+        payload = {
+            "brute_cap": 16,
+            "sizes": [
+                {
+                    "nodes": 32,
+                    "terrain": 40.0,
+                    "layout_ms": 0.1,
+                    "grid_ms": 1.0,
+                    "brute_ms": None,
+                    "speedup": None,
+                    "edges": 10,
+                    "mean_degree": 2.0,
+                }
+            ],
+        }
+        table = render_setup_table(payload)
+        assert " - " in table
+
+    def test_setup_floor_check_semantics(self):
+        payload = {
+            "brute_cap": 4096,
+            "sizes": [
+                {"nodes": 2048, "speedup": 6.0},
+                {"nodes": 16384, "speedup": None},
+            ],
+        }
+        ok, message = check_setup_floor(payload, 4.0, 2048)
+        assert ok and "6.0x" in message
+        ok, message = check_setup_floor(payload, 8.0, 2048)
+        assert not ok and "REGRESSION" in message
+        # A size where the brute oracle was skipped fails, never passes
+        # vacuously.
+        ok, message = check_setup_floor(payload, 0.1, 16384)
+        assert not ok and "brute oracle not measured" in message
+        # So does a size that was never measured.
+        ok, message = check_setup_floor(payload, 0.1, 512)
+        assert not ok and "not in the measured sweep" in message
+
+    def test_setup_artifact_written_as_valid_json(self, tmp_path):
+        payload = run_setup_bench(node_counts=(32,), repeats=1)
+        written = write_bench_artifacts(tmp_path, setup=payload)
+        assert [p.name for p in written] == ["BENCH_setup.json"]
+        decoded = json.loads(written[0].read_text())
+        assert decoded["schema"] == BENCH_SETUP_SCHEMA
+        assert decoded["sizes"][0]["nodes"] == 32
 
 
 class TestBenchCLI:
@@ -262,3 +346,56 @@ class TestBenchCLI:
     def test_bench_rejects_malformed_batch_sizes(self, tmp_path, capsys):
         assert main(["bench", "--batch-sizes", "abc"]) == 2
         assert main(["bench", "--batch-sizes", "0"]) == 2
+
+    def test_bench_setup_writes_artifact_and_passes_floor(
+        self, tmp_path, capsys
+    ):
+        exit_code = main(
+            [
+                "bench",
+                "--setup",
+                "--setup-nodes",
+                "32,64",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--setup-floor",
+                "0.01",
+                "--setup-floor-nodes",
+                "64",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "setup guard ok" in output
+        setup = json.loads((tmp_path / "BENCH_setup.json").read_text())
+        assert setup["benchmark"] == "setup"
+        assert [row["nodes"] for row in setup["sizes"]] == [32, 64]
+        # The setup mode does not run the other suites.
+        assert not (tmp_path / "BENCH_hotpath.json").exists()
+        assert not (tmp_path / "BENCH_e2e.json").exists()
+
+    def test_bench_setup_check_fails_below_floor(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--setup",
+                "--setup-nodes",
+                "32",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                "--setup-floor",
+                "1e9",
+                "--setup-floor-nodes",
+                "32",
+            ]
+        )
+        assert exit_code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # The artifact is still written so CI can upload the evidence.
+        assert (tmp_path / "BENCH_setup.json").exists()
+
+    def test_bench_rejects_malformed_setup_nodes(self, tmp_path, capsys):
+        assert main(["bench", "--setup", "--setup-nodes", "abc"]) == 2
+        assert main(["bench", "--setup", "--setup-nodes", "1"]) == 2

@@ -1,0 +1,298 @@
+"""Equivalence and correctness tests for the uniform-grid spatial index.
+
+The grid kernel (:mod:`repro.core.spatial`) replaced the O(n^2) all-pairs
+scan in topology construction and the all-placed-points scan in
+``random_layout``.  Its contract is *bit-identical* results against the
+retained brute-force oracles, so these tests sweep every layout generator
+-- including the adversarial cases: pair distance exactly equal to the
+radius, many points sharing one grid cell, and mostly-empty grids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, DatasetError
+from repro.core.spatial import GridIndex, brute_force_pairs
+from repro.datasets.layout import (
+    DEFAULT_TRANSMISSION_RANGE,
+    grid_layout,
+    intel_lab_layout,
+    random_layout,
+)
+from repro.network.topology import Topology
+
+
+def _coords(positions):
+    """(xs, ys) arrays in ascending-id order from a layout mapping."""
+    ids = sorted(positions)
+    xs = np.array([positions[i][0] for i in ids], dtype=np.float64)
+    ys = np.array([positions[i][1] for i in ids], dtype=np.float64)
+    return xs, ys
+
+
+def _pair_set(first, second):
+    return set(zip(first.tolist(), second.tolist()))
+
+
+# Every registered layout generator, at the paper's range and at a range
+# that is NOT the grid cell size's natural fit.  The 10x10 grid at spacing
+# exactly equal to the range is the boundary case: every lattice edge sits
+# at distance == radius, where one misrounded comparison would flip
+# hundreds of edges.
+LAYOUTS = [
+    pytest.param(intel_lab_layout(), DEFAULT_TRANSMISSION_RANGE, id="lab53"),
+    pytest.param(
+        intel_lab_layout(node_count=200, terrain_size=50.0),
+        DEFAULT_TRANSMISSION_RANGE,
+        id="lab200-dense",
+    ),
+    pytest.param(grid_layout(12, 9, spacing=5.0), 6.0, id="grid12x9"),
+    pytest.param(
+        grid_layout(10, 10, spacing=DEFAULT_TRANSMISSION_RANGE),
+        DEFAULT_TRANSMISSION_RANGE,
+        id="grid-boundary-distance-eq-range",
+    ),
+    pytest.param(
+        random_layout(300, terrain_size=100.0, seed=7),
+        8.0,
+        id="random300",
+    ),
+    pytest.param(
+        random_layout(40, terrain_size=200.0, seed=3),
+        6.0,
+        id="random-sparse-empty-cells",
+    ),
+]
+
+
+class TestPairsEquivalence:
+    @pytest.mark.parametrize("positions,radius", LAYOUTS)
+    def test_grid_pairs_bit_identical_to_brute_oracle(self, positions, radius):
+        xs, ys = _coords(positions)
+        grid = GridIndex(xs, ys, cell_size=radius)
+        ga, gb = grid.pairs_within_radius(radius)
+        ba, bb = brute_force_pairs(xs, ys, radius)
+        assert np.array_equal(ga, ba)
+        assert np.array_equal(gb, bb)
+        assert ga.dtype == ba.dtype == np.int64
+
+    @pytest.mark.parametrize("positions,radius", LAYOUTS)
+    def test_cell_size_mismatch_keeps_equivalence(self, positions, radius):
+        # The cell size is a performance knob, never a correctness one.
+        xs, ys = _coords(positions)
+        oracle = _pair_set(*brute_force_pairs(xs, ys, radius))
+        for cell in (radius / 3.0, radius * 2.5):
+            grid = GridIndex(xs, ys, cell_size=cell)
+            assert _pair_set(*grid.pairs_within_radius(radius)) == oracle
+
+    def test_distance_exactly_equal_to_radius_is_an_edge(self):
+        # hypot(3, 4) == 5.0 exactly in floating point.
+        xs = np.array([0.0, 3.0, 100.0])
+        ys = np.array([0.0, 4.0, 100.0])
+        grid = GridIndex(xs, ys, cell_size=5.0)
+        assert _pair_set(*grid.pairs_within_radius(5.0)) == {(0, 1)}
+        # Nudging one coordinate by single ulps keeps the scalar-oracle
+        # agreement even while the true distance hovers within rounding
+        # error of the radius (math.hypot may legitimately still round to
+        # exactly 5.0 here -- the contract is oracle agreement, not a
+        # particular verdict).
+        for steps in range(1, 6):
+            x = 3.0
+            for _ in range(steps):
+                x = np.nextafter(x, 4.0)
+            xs_near = np.array([0.0, x, 100.0])
+            grid_near = GridIndex(xs_near, ys, cell_size=5.0)
+            assert _pair_set(*grid_near.pairs_within_radius(5.0)) == _pair_set(
+                *brute_force_pairs(xs_near, ys, 5.0)
+            )
+        # A clearly-outside pair is rejected.
+        xs_out = np.array([0.0, 3.001, 100.0])
+        grid_out = GridIndex(xs_out, ys, cell_size=5.0)
+        assert _pair_set(*grid_out.pairs_within_radius(5.0)) == set()
+
+    def test_many_points_sharing_one_cell(self):
+        # Coincident and near-coincident points all land in the same cell;
+        # the intra-cell upper-triangle block must enumerate every pair once.
+        xs = np.array([1.0, 1.0, 1.0, 1.2, 1.4])
+        ys = np.array([2.0, 2.0, 2.1, 2.0, 2.3])
+        grid = GridIndex(xs, ys, cell_size=10.0)
+        ga, gb = grid.pairs_within_radius(1.0)
+        ba, bb = brute_force_pairs(xs, ys, 1.0)
+        assert np.array_equal(ga, ba) and np.array_equal(gb, bb)
+        assert len(_pair_set(ga, gb)) == 10  # all C(5,2) pairs within 1 m
+
+    def test_zero_radius_pairs_coincident_points_only(self):
+        xs = np.array([0.0, 0.0, 5.0])
+        ys = np.array([1.0, 1.0, 1.0])
+        grid = GridIndex(xs, ys, cell_size=2.0)
+        assert _pair_set(*grid.pairs_within_radius(0.0)) == {(0, 1)}
+
+    def test_degenerate_sizes(self):
+        empty = GridIndex([], [], cell_size=1.0)
+        a, b = empty.pairs_within_radius(5.0)
+        assert a.size == b.size == 0
+        single = GridIndex([3.0], [4.0], cell_size=1.0)
+        a, b = single.pairs_within_radius(5.0)
+        assert a.size == b.size == 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex([0.0], [0.0], cell_size=0.0)
+        with pytest.raises(ConfigurationError):
+            GridIndex([0.0, 1.0], [0.0], cell_size=1.0)
+        grid = GridIndex([0.0], [0.0], cell_size=1.0)
+        with pytest.raises(ConfigurationError):
+            grid.pairs_within_radius(-1.0)
+
+
+class TestPointQueries:
+    def setup_method(self):
+        self.positions = random_layout(120, terrain_size=60.0, seed=11)
+        self.xs, self.ys = _coords(self.positions)
+        self.grid = GridIndex(self.xs, self.ys, cell_size=7.0)
+
+    def _brute_radius(self, x, y, radius):
+        return sorted(
+            i
+            for i in range(self.xs.size)
+            if math.hypot(x - self.xs[i], y - self.ys[i]) <= radius
+        )
+
+    def test_query_radius_matches_brute_scan(self):
+        # Query positions both on and off indexed points, including spots
+        # outside the terrain (whose cells were never occupied).
+        queries = [
+            (self.xs[0], self.ys[0]),
+            (30.0, 30.0),
+            (-5.0, 70.0),
+            (61.3, 2.7),
+        ]
+        for x, y in queries:
+            for radius in (0.0, 3.5, 7.0, 25.0):
+                found = self.grid.query_radius(x, y, radius)
+                assert found.tolist() == self._brute_radius(x, y, radius)
+
+    def test_k_nearest_matches_brute_ranking(self):
+        for x, y in ((30.0, 30.0), (self.xs[5], self.ys[5]), (-10.0, -10.0)):
+            distances = np.hypot(x - self.xs, y - self.ys)
+            ranking = np.lexsort((np.arange(self.xs.size), distances))
+            for k in (1, 4, 17, 120):
+                assert (
+                    self.grid.k_nearest(x, y, k).tolist()
+                    == ranking[:k].tolist()
+                )
+
+    def test_k_nearest_clamps_k_and_breaks_ties_by_index(self):
+        xs = np.array([0.0, 1.0, 1.0, 2.0])
+        ys = np.zeros(4)
+        grid = GridIndex(xs, ys, cell_size=1.0)
+        # Points 1 and 2 are equidistant from the query: ascending index wins.
+        assert grid.k_nearest(1.0, 0.0, 3).tolist()[:2] == [1, 2]
+        assert grid.k_nearest(0.0, 0.0, 99).size == 4
+        with pytest.raises(ConfigurationError):
+            grid.k_nearest(0.0, 0.0, 0)
+
+
+class TestTopologyBuilders:
+    @pytest.mark.parametrize("positions,radius", LAYOUTS)
+    def test_grid_and_brute_builders_agree(self, positions, radius):
+        grid = Topology.from_positions(positions, transmission_range=radius)
+        brute = Topology.from_positions(
+            positions, transmission_range=radius, builder="brute"
+        )
+        assert grid.builder == "grid" and brute.builder == "brute"
+        assert grid.edge_count == brute.edge_count
+        for node_id in grid.node_ids:
+            assert grid.neighbors_sorted(node_id) == brute.neighbors_sorted(
+                node_id
+            )
+
+    def test_unknown_builder_rejected(self):
+        from repro.core.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            Topology.from_positions(
+                {0: (0.0, 0.0)}, transmission_range=1.0, builder="kdtree"
+            )
+
+    def test_csr_queries_match_networkx(self):
+        positions = random_layout(80, terrain_size=40.0, seed=5)
+        topology = Topology.from_positions(
+            positions, transmission_range=DEFAULT_TRANSMISSION_RANGE
+        )
+        graph = topology.graph()
+        import networkx as nx
+
+        assert set(graph.nodes) == set(topology.node_ids)
+        for node_id in topology.node_ids:
+            assert set(graph.neighbors(node_id)) == topology.neighbors(node_id)
+        source = topology.node_ids[0]
+        assert topology.hop_distances_from(source) == dict(
+            nx.single_source_shortest_path_length(graph, source)
+        )
+        if topology.is_connected():
+            assert topology.diameter() == nx.diameter(graph)
+
+    def test_nodes_within_hops_is_a_depth_cutoff(self):
+        positions = intel_lab_layout()
+        topology = Topology.from_positions(
+            positions, transmission_range=DEFAULT_TRANSMISSION_RANGE
+        )
+        source = 0
+        distances = topology.hop_distances_from(source)
+        for hops in (0, 1, 2, 5):
+            expected = {n for n, d in distances.items() if d <= hops}
+            assert topology.nodes_within_hops(source, hops) == expected
+
+    def test_node_ids_and_adjacency_are_cached(self):
+        topology = Topology.from_positions(
+            intel_lab_layout(), transmission_range=DEFAULT_TRANSMISSION_RANGE
+        )
+        assert topology.node_ids is topology.node_ids
+        assert topology.adjacency() is topology.adjacency()
+        # Cached ids are plain python ints (safe as JSON/dict keys).
+        assert all(type(n) is int for n in topology.node_ids)
+        assert all(
+            type(n) is int
+            for n in topology.neighbors_sorted(topology.node_ids[0])
+        )
+
+    def test_spatial_index_available_from_both_builders(self):
+        positions = grid_layout(4, 4, spacing=3.0)
+        for builder in ("grid", "brute"):
+            topology = Topology.from_positions(
+                positions, transmission_range=5.0, builder=builder
+            )
+            index = topology.spatial_index()
+            hits = index.query_radius(0.0, 0.0, 3.5)
+            # Point indices are ranks in node_ids: (0,0), (3,0) and (0,3).
+            assert hits.tolist() == [0, 1, 4]
+
+
+class TestRandomLayoutScaling:
+    def test_grid_bucketed_rejection_matches_historical_draws(self):
+        # The bucketed spacing check must preserve the historical RNG draw
+        # sequence: same seed, same accepted positions.
+        layout = random_layout(25, terrain_size=30.0, seed=42, min_spacing=3.0)
+        assert len(layout) == 25
+        points = list(layout.values())
+        for i, (xi, yi) in enumerate(points):
+            for xj, yj in points[i + 1 :]:
+                assert math.hypot(xi - xj, yi - yj) >= 3.0
+        again = random_layout(25, terrain_size=30.0, seed=42, min_spacing=3.0)
+        assert layout == again
+
+    def test_infeasible_density_reports_bound_and_progress(self):
+        with pytest.raises(DatasetError) as excinfo:
+            random_layout(
+                500, terrain_size=10.0, seed=0, min_spacing=5.0,
+                max_attempts=2000,
+            )
+        message = str(excinfo.value)
+        assert "placed only" in message
+        assert "at most ~" in message
+        assert "reduce node_count or min_spacing" in message
