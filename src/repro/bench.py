@@ -6,7 +6,7 @@ window/network the experiments can simulate, so it is measured the same way
 figures are -- reproducibly, from a CLI entry point, with artifacts a CI
 job can diff and threshold.
 
-Three benchmarks ship:
+Four benchmarks ship:
 
 * **hotpath** -- per-event latency of the steady-state detector loop (one
   arrival plus one eviction at a fixed window size), measured for the
@@ -24,6 +24,12 @@ Three benchmarks ship:
   build is skipped above a node cap (it is O(n^2); the cap keeps the bench
   bounded), so its speedup is ``null`` there.  Emitted as
   ``BENCH_setup.json``.
+* **shard** -- sharded scenario execution (:mod:`repro.shard`): one
+  semi-global scenario run single-process and at several shard counts,
+  with every sharded transcript compared byte-for-byte against the
+  baseline before its speedup is reported.  Records the machine's core
+  count, since the ratio is only a parallel speedup when there are cores
+  to spread the shards over.  Emitted as ``BENCH_shard.json``.
 
 Both artifacts carry a stable ``schema`` number and enough configuration to
 interpret a trajectory of them across commits.  The CLI's ``--check`` mode
@@ -77,6 +83,11 @@ __all__ = [
     "run_setup_bench",
     "render_setup_table",
     "check_setup_floor",
+    "BENCH_SHARD_SCHEMA",
+    "DEFAULT_SHARD_COUNTS",
+    "run_shard_bench",
+    "render_shard_table",
+    "check_shard_floor",
     "write_bench_artifacts",
     "check_speedup_floor",
     "check_batched_floor",
@@ -104,6 +115,15 @@ DEFAULT_BATCH_SIZES: Tuple[int, ...] = (1, 4, 16, 64)
 #: Schema of ``BENCH_setup.json`` (independent of the hotpath/e2e schema:
 #: the artifacts evolve separately).  History: 1 -- initial layout.
 BENCH_SETUP_SCHEMA = 1
+
+#: Schema of ``BENCH_shard.json``.  History: 1 -- initial layout.
+BENCH_SHARD_SCHEMA = 1
+
+#: Shard counts of the sharded-execution benchmark.  1 is included on
+#: purpose: it runs the full bus machinery (worker process, epochs,
+#: crossings merge) with zero partition benefit, so the gap between the
+#: baseline and ``shards=1`` is the pure coordination overhead.
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4)
 
 #: Node counts of the full setup sweep (matches the ``scaling-nodes``
 #: paper-profile counts).
@@ -583,15 +603,155 @@ def check_setup_floor(
     )
 
 
+def run_shard_bench(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    nodes: Optional[int] = None,
+    quick: bool = False,
+    mode: str = "hop-interleaved",
+) -> Dict:
+    """Measure sharded execution and return the ``BENCH_shard`` payload.
+
+    One semi-global scenario (the algorithm the partitioner's hop-level
+    decomposition is built around) on the density-preserving scaling
+    terrain, run once single-process and once per shard count, all over the
+    *same* pre-built dataset.  Every sharded transcript is compared
+    byte-for-byte (``canonical_json``) against the single-process run and
+    the verdict lands in the row's ``identical`` field -- a speedup over a
+    divergent transcript would be meaningless.
+
+    Speedup is wall-clock of the single-process run over the sharded run.
+    It is only a *parallel* speedup when the machine has cores to spread
+    the shards over; the payload records ``cores`` so a trajectory of
+    artifacts is interpretable -- on a single-core machine the sub-1.0
+    "speedups" measure pure coordination overhead.
+    """
+    import os
+
+    from .core.config import Algorithm, DetectionConfig
+    from .datasets.loader import build_intel_lab_dataset
+    from .experiments.sweeps import scaling_terrain
+    from .wsn.runner import run_scenario
+    from .wsn.scenario import ScenarioConfig
+
+    node_count = nodes if nodes is not None else (256 if quick else 4096)
+    rounds = 3
+    window = min(10, rounds)
+    scenario = ScenarioConfig(
+        detection=DetectionConfig(
+            algorithm=Algorithm.SEMI_GLOBAL,
+            ranking="nn",
+            n_outliers=4,
+            k=4,
+            window_length=window,
+            hop_diameter=2,
+        ),
+        node_count=node_count,
+        rounds=rounds,
+        terrain_size=scaling_terrain(node_count),
+        seed=0,
+    )
+    dataset = build_intel_lab_dataset(scenario.dataset_config())
+
+    started = time.perf_counter()
+    baseline = run_scenario(scenario, dataset)
+    baseline_s = time.perf_counter() - started
+    baseline_bytes = baseline.canonical_json()
+
+    rows: List[Dict] = []
+    for shards in shard_counts:
+        started = time.perf_counter()
+        result = run_scenario(scenario, dataset, shards=int(shards), shard_mode=mode)
+        sharded_s = time.perf_counter() - started
+        rows.append(
+            {
+                "shards": int(shards),
+                "wallclock_seconds": sharded_s,
+                "speedup": baseline_s / sharded_s,
+                "identical": result.canonical_json() == baseline_bytes,
+            }
+        )
+    return {
+        "schema": BENCH_SHARD_SCHEMA,
+        "benchmark": "shard",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "cores": os.cpu_count(),
+        "nodes": node_count,
+        "rounds": rounds,
+        "window": window,
+        "mode": mode,
+        "label": scenario.label(),
+        "baseline_seconds": baseline_s,
+        "shards": rows,
+    }
+
+
+def render_shard_table(payload: Dict) -> str:
+    """The human-readable table mirrored to ``results/shard.txt``."""
+    lines = [
+        f"Sharded scenario execution ({payload['label']}, "
+        f"{payload['nodes']} nodes, {payload['rounds']} rounds, "
+        f"{payload['mode']} placement, {payload['cores']} core(s))",
+        "",
+        f"single-process baseline: {payload['baseline_seconds']:.2f} s",
+        "",
+        f"{'shards':>8} {'wallclock s':>12} {'speedup':>9} {'identical':>10}",
+    ]
+    for row in payload["shards"]:
+        lines.append(
+            f"{row['shards']:>8} {row['wallclock_seconds']:>12.2f} "
+            f"{row['speedup']:>8.2f}x {str(bool(row['identical'])):>10}"
+        )
+    lines += [
+        "",
+        "speedup = single-process wall-clock / sharded wall-clock; it is a",
+        "parallel speedup only when the machine has cores to spread the",
+        "shards over (the cores field above) -- on fewer cores the ratio",
+        "measures the bus coordination overhead instead.  identical = the",
+        "sharded transcript matched the single-process run byte for byte.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def check_shard_floor(
+    shard: Dict, floor: float, floor_count: int
+) -> Tuple[bool, str]:
+    """Regression guard for sharded execution: the speedup at
+    ``floor_count`` shards must be at least ``floor`` *and* the transcript
+    must be byte-identical.  Same never-vacuous contract as
+    :func:`check_speedup_floor` -- a missing shard count fails.
+    """
+    for row in shard["shards"]:
+        if row["shards"] == floor_count:
+            if not row.get("identical", False):
+                return False, (
+                    f"shard guard REGRESSION: transcript at {floor_count} "
+                    f"shards diverged from the single-process run"
+                )
+            speedup = row["speedup"]
+            ok = speedup >= floor
+            verdict = "ok" if ok else "REGRESSION"
+            return ok, (
+                f"shard guard {verdict}: speedup {speedup:.2f}x at "
+                f"{floor_count} shards on {shard.get('cores')} core(s) "
+                f"(floor {floor:.2f}x)"
+            )
+    return False, (
+        f"shard guard error: {floor_count} shards not in the measured sweep "
+        f"{[row['shards'] for row in shard['shards']]}"
+    )
+
+
 def write_bench_artifacts(
     output_dir,
     hotpath: Optional[Dict] = None,
     e2e: Optional[Dict] = None,
     setup: Optional[Dict] = None,
+    shard: Optional[Dict] = None,
 ) -> List[Path]:
     """Write ``BENCH_hotpath.json`` / ``BENCH_e2e.json`` /
-    ``BENCH_setup.json`` under ``output_dir`` and return the written
-    paths."""
+    ``BENCH_setup.json`` / ``BENCH_shard.json`` under ``output_dir`` and
+    return the written paths."""
     root = Path(output_dir)
     root.mkdir(parents=True, exist_ok=True)
     written = []
@@ -599,6 +759,7 @@ def write_bench_artifacts(
         ("BENCH_hotpath.json", hotpath),
         ("BENCH_e2e.json", e2e),
         ("BENCH_setup.json", setup),
+        ("BENCH_shard.json", shard),
     ):
         if payload is None:
             continue

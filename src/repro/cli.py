@@ -45,6 +45,13 @@ regression)::
 
     repro-wsn bench
     repro-wsn bench --quick --check --output-dir bench-artifacts
+
+Run one scenario partitioned across 4 shard processes (byte-identical to
+the single-process run), or measure the sharded-execution speedup into
+``BENCH_shard.json``::
+
+    repro-wsn run --algorithm semi-global --nodes 256 --rounds 6 --shards 4
+    repro-wsn bench --shard --quick --check --shard-floor 1.2
 """
 
 from __future__ import annotations
@@ -115,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(node churn), '{\"duty_cycle\": 0.75}' (sleep cycles) or "
         "'{\"burst_to_bad\": 0.02, \"burst_loss_bad\": 0.8}' "
         "(Gilbert-Elliott burst loss)",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the deployment across this many worker processes "
+        "over the deterministic message bus (results are byte-identical "
+        "to the single-process run; requires --loss 0)",
+    )
+    run.add_argument(
+        "--shard-mode",
+        choices=["hop-interleaved", "band"],
+        default="hop-interleaved",
+        help="shard placement: hop-interleaved balances every hop level "
+        "across shards (default), band cuts contiguous hop bands",
     )
     run.add_argument(
         "--json",
@@ -247,6 +269,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="node count the --setup-floor is evaluated at "
         "(default: 2048)",
     )
+    bench.add_argument(
+        "--shard",
+        action="store_true",
+        help="run the sharded-execution benchmark (one semi-global "
+        "scenario at each --shard-counts value, emits BENCH_shard.json) "
+        "instead of the hotpath/e2e suites",
+    )
+    bench.add_argument(
+        "--shard-counts",
+        metavar="CSV",
+        default=None,
+        help="comma-separated shard counts for --shard (default: 1,2,4)",
+    )
+    bench.add_argument(
+        "--shard-nodes",
+        type=int,
+        default=None,
+        help="network size for --shard (default: 4096; 256 with --quick)",
+    )
+    bench.add_argument(
+        "--shard-floor",
+        type=float,
+        default=2.5,
+        help="with --shard --check, minimum acceptable speedup over the "
+        "single-process run at --shard-floor-count shards "
+        "(default: 2.5)",
+    )
+    bench.add_argument(
+        "--shard-floor-count",
+        type=int,
+        default=4,
+        help="shard count the --shard-floor is evaluated at (default: 4)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -280,6 +335,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["tiny", "quick", "paper"],
         default=None,
         help="experiment profile (default: REPRO_BENCH_PROFILE or quick)",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition each computed scenario across this many shard "
+        "processes (parallelism *within* a scenario; mutually exclusive "
+        "with pool parallelism, so misses run inline)",
     )
     sweep.add_argument(
         "--no-report",
@@ -344,8 +407,13 @@ def _command_run(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     try:
-        result = run_scenario(scenario)
+        result = run_scenario(
+            scenario, shards=args.shards, shard_mode=args.shard_mode
+        )
     except ReproError as error:
         # Configuration problems only detectable mid-run (e.g. a metric
         # parameterisation that does not fit a custom dataset's dimension)
@@ -402,15 +470,54 @@ def _command_bench(args: argparse.Namespace) -> int:
         QUICK_WINDOWS,
         check_batched_floor,
         check_setup_floor,
+        check_shard_floor,
         check_speedup_floor,
         render_hotpath_table,
         render_regression_report,
         render_setup_table,
+        render_shard_table,
         run_e2e_bench,
         run_hotpath_bench,
         run_setup_bench,
+        run_shard_bench,
         write_bench_artifacts,
     )
+
+    if args.shard:
+        from .bench import DEFAULT_SHARD_COUNTS
+
+        if args.shard_counts:
+            try:
+                shard_counts = tuple(
+                    int(token)
+                    for token in args.shard_counts.split(",")
+                    if token.strip()
+                )
+            except ValueError:
+                print(f"error: --shard-counts must be a CSV of integers, got "
+                      f"{args.shard_counts!r}", file=sys.stderr)
+                return 2
+            if not shard_counts or any(s < 1 for s in shard_counts):
+                print("error: --shard-counts needs at least one count >= 1",
+                      file=sys.stderr)
+                return 2
+        else:
+            shard_counts = DEFAULT_SHARD_COUNTS
+        shard = run_shard_bench(
+            shard_counts=shard_counts, nodes=args.shard_nodes, quick=args.quick
+        )
+        print(render_shard_table(shard))
+        written = write_bench_artifacts(args.output_dir, shard=shard)
+        for path in written:
+            print(f"wrote {path}")
+        if args.check:
+            ok, message = check_shard_floor(
+                shard, args.shard_floor, args.shard_floor_count
+            )
+            print(message)
+            if not ok:
+                return 1
+        return 0
 
     if args.setup:
         if args.setup_nodes:
@@ -563,6 +670,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except ExperimentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     scenarios = list(family.build(profile))
 
     counts = {"memory": 0, "store": 0, "computed": 0}
@@ -572,7 +682,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"[{done}/{total}] {event:8s} {scenario.label()}  seed={scenario.seed}")
 
     started = time.perf_counter()
-    run_scenarios(scenarios, workers=workers, store=store, progress=progress)
+    run_scenarios(
+        scenarios,
+        workers=workers,
+        store=store,
+        progress=progress,
+        shards=args.shards,
+    )
     elapsed = time.perf_counter() - started
     unique = sum(counts.values())
     print(

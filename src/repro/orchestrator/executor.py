@@ -37,6 +37,7 @@ Invariants the executor maintains:
 from __future__ import annotations
 
 import os
+from functools import partial
 from multiprocessing import get_context
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -81,7 +82,23 @@ def clear_memory() -> None:
 # Environment-driven defaults
 # ----------------------------------------------------------------------
 def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` (default 1 = in-process)."""
+    """Worker count from the environment (default 1 = in-process).
+
+    ``REPRO_WSN_WORKERS`` takes precedence over the generic
+    ``REPRO_WORKERS`` so a wsn-specific deployment (a CI lane, a shared
+    batch host) can pin this stack without disturbing other tooling that
+    reads the generic name.  Values below 1 are clamped to 1 rather than
+    rejected: the override exists to *limit* parallelism, and "as little as
+    possible" is a valid request from an environment that cannot fork.
+    """
+    override = os.environ.get("REPRO_WSN_WORKERS", "").strip()
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_WSN_WORKERS must be an integer, got {override!r}"
+            ) from None
     raw = os.environ.get("REPRO_WORKERS", "1").strip()
     try:
         workers = int(raw)
@@ -108,6 +125,7 @@ def run_scenarios(
     workers: int = 1,
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressCallback] = None,
+    shards: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Resolve every scenario, in order, through cache tiers + execution.
 
@@ -126,6 +144,15 @@ def run_scenarios(
         Optional ``callback(event, scenario, done, total)`` invoked once per
         unique scenario with event ``"memory"``, ``"store"`` or
         ``"computed"``.
+    shards:
+        When given, each computed miss is itself partitioned across this
+        many shard processes (:mod:`repro.shard`) instead of running as one
+        simulator.  Sharding parallelises *within* a scenario where the
+        pool parallelises *across* scenarios, so the two are mutually
+        exclusive: ``shards`` forces the misses inline (pool workers are
+        daemonic and may not spawn the shard processes).  Results are
+        byte-identical either way, so cache keys and store entries do not
+        change.
 
     Returns
     -------
@@ -176,7 +203,10 @@ def run_scenarios(
                 progress("computed", scenario, done, total)
 
     if missing:
-        if workers == 1 or len(missing) == 1:
+        if shards is not None:
+            compute = partial(run_scenario_worker, shards=shards)
+            consume(map(compute, missing))
+        elif workers == 1 or len(missing) == 1:
             consume(map(run_scenario_worker, missing))
         else:
             # ``fork`` keeps worker start-up cheap where available;

@@ -86,15 +86,17 @@ def install_shortest_path_routes(
     # towards the node is the chain predecessor, i.e. for the chain
     # node = c0 -> c1 -> ... -> sink, agent(c_{i+1}) routes the destination
     # ``node`` via c_i.
-    sink_agent = agents.get(sink)
-    if sink_agent is None:
-        return
     for node_id in topology.node_ids:
         if node_id == sink:
             continue
         step = node_id
         parent = towards_sink[node_id]
         while parent is not None:
-            agents[parent].set_route(node_id, step)
+            # ``agents`` may cover only a subset of the topology (a shard's
+            # local nodes); the chain is still walked in full so every local
+            # hop on the path learns its route.
+            agent = agents.get(parent)
+            if agent is not None:
+                agent.set_route(node_id, step)
             step = parent
             parent = towards_sink[parent]

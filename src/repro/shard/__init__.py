@@ -1,0 +1,29 @@
+"""Sharded scenario execution.
+
+Partition one deployment across processes along the semi-global hop-level
+decomposition and run the shard-local simulators in lockstep epochs over a
+deterministic message bus.  The public entry point is
+``run_scenario(..., shards=k)`` in :mod:`repro.wsn.runner`; this package
+holds the machinery:
+
+* :mod:`repro.shard.partition` -- hop-level partitioner over the CSR
+  topology (``hop-interleaved`` round-robin placement by default, so every
+  shard owns a slice of every hop level and stays busy in every epoch);
+* :mod:`repro.shard.runtime` -- the worker-side slice: shard channel with
+  crossing records, recording energy meters, mirrored fault transitions;
+* :mod:`repro.shard.bus` -- the coordinator: epoch grants, canonical
+  crossing delivery order, and the merge of shard slices into one
+  :class:`~repro.wsn.results.SimulationResult` that is byte-identical to
+  the single-process transcript.
+"""
+
+from .bus import LOOKAHEAD_SECONDS, run_sharded_scenario
+from .partition import PARTITION_MODES, ShardPlan, partition_topology
+
+__all__ = [
+    "LOOKAHEAD_SECONDS",
+    "PARTITION_MODES",
+    "ShardPlan",
+    "partition_topology",
+    "run_sharded_scenario",
+]

@@ -1,0 +1,240 @@
+"""The deterministic message bus: lockstep epochs over shard workers.
+
+One scenario, k processes.  The bus is a conservative parallel
+discrete-event coordinator (CMB-style, with a global barrier): at each
+barrier every worker reports its next pending event time and the crossings
+it emitted, the bus routes the crossings, and grants every worker the epoch
+
+    ``[now, T)``  with  ``T = E_min + lookahead``
+
+where ``E_min`` is the global minimum over workers' next event times *and*
+in-flight crossing delivery times, and ``lookahead`` is the channel's
+per-hop ``processing_delay``.  The grant is safe because every cross-shard
+effect of an event executed at time ``t >= E_min`` is a packet delivery at
+``t + airtime + processing_delay >= T`` -- at or beyond the barrier, hence
+delivered (in the canonical :class:`~repro.shard.runtime.CrossingRecord`
+order) before any worker is allowed to reach it.  Workers execute events
+*strictly* before ``T`` (:meth:`~repro.simulator.engine.Simulator.run_exclusive`),
+so at least one event fires per epoch and the loop always terminates.
+
+Determinism contract: the merged execution presents every *node* with
+exactly the event sequence of the single-process run -- per-node RNG
+streams, per-node detector state and the replayed per-node energy charge
+order are all preserved -- so the merged :class:`SimulationResult`
+serialises byte-identically to the single-process transcript.  Two scenario
+knobs are incompatible with sharding and rejected up front: channel loss
+(i.i.d. or burst) draws from shared streams in global transmission order,
+which no per-shard execution can replay.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.accuracy import compare_estimates, normalise
+from ..core.errors import ConfigurationError, SimulationError
+from ..datasets.loader import build_intel_lab_dataset
+from ..datasets.streams import SensorDataset
+from ..network.channel import ChannelStatistics
+from ..network.stats import EnergyReport
+from ..network.topology import Topology
+from ..wsn.results import SimulationResult
+from ..wsn.runner import final_references
+from ..wsn.scenario import ScenarioConfig
+from .partition import ShardPlan, partition_topology
+from .runtime import CrossingRecord, shard_worker_main
+
+__all__ = ["run_sharded_scenario", "LOOKAHEAD_SECONDS"]
+
+#: The bus lookahead: the wireless channel's constant per-hop processing
+#: delay.  Every cross-shard influence is a packet delivery arriving at
+#: least ``airtime + LOOKAHEAD_SECONDS`` after the event that caused it,
+#: so granting ``E_min + LOOKAHEAD_SECONDS`` (exclusive) is always causal.
+LOOKAHEAD_SECONDS = 1e-3
+
+_INFINITY = float("inf")
+
+
+def _validate(scenario: ScenarioConfig, shards: int) -> None:
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if scenario.loss_probability > 0.0:
+        raise ConfigurationError(
+            "sharded execution requires a lossless channel "
+            "(loss_probability=0): i.i.d. loss draws consume a shared "
+            "random stream in global transmission order"
+        )
+    if scenario.faults.burst_enabled:
+        raise ConfigurationError(
+            "sharded execution does not support the Gilbert-Elliott burst "
+            "model: per-link chains draw from a shared random stream in "
+            "global transmission order"
+        )
+
+
+def run_sharded_scenario(
+    scenario: ScenarioConfig,
+    dataset: Optional[SensorDataset] = None,
+    shards: int = 2,
+    mode: str = "hop-interleaved",
+) -> SimulationResult:
+    """Run one scenario partitioned across ``shards`` worker processes.
+
+    The result is byte-identical (``SimulationResult.canonical_json``) to
+    ``run_scenario(scenario)`` -- the sharded-equivalence test suite pins
+    this on golden scenarios for every algorithm, metric and fault setting.
+    """
+    started = time.perf_counter()
+    _validate(scenario, shards)
+    data = dataset or build_intel_lab_dataset(scenario.dataset_config())
+    topology = Topology.from_positions(
+        data.positions, transmission_range=scenario.transmission_range
+    )
+    topology.require_connected()
+    plan = partition_topology(topology, scenario.sink_id, shards, mode=mode)
+
+    payloads = _run_workers(scenario, data, topology, plan)
+
+    # ------------------------------------------------------------------
+    # Merge the shard slices into one result (same order of operations as
+    # the single-process tail of run_scenario).
+    # ------------------------------------------------------------------
+    final_index = scenario.rounds - 1
+    final_windows = data.windows(final_index, scenario.detection.window_length)
+    skipped: Set[Tuple[int, int]] = set()
+    for payload in payloads:
+        skipped |= payload["skipped_keys"]
+    if scenario.faults.churn_enabled:
+        final_windows = {
+            node_id: [p for p in points if (p.origin, p.epoch) not in skipped]
+            for node_id, points in final_windows.items()
+        }
+    references = final_references(scenario, topology, final_windows)
+
+    estimates: Dict[int, list] = {}
+    protocol_stats: Dict[int, Dict[str, int]] = {}
+    fault_stats: Dict[int, Dict[str, float]] = {}
+    meters: Dict[int, object] = {}
+    channel_totals: Dict[str, int] = {}
+    events_executed = 0
+    for payload in payloads:
+        estimates.update(payload["estimates"])
+        protocol_stats.update(payload["protocol_stats"])
+        fault_stats.update(payload["fault_stats"])
+        meters.update(payload["meters"])
+        for key, value in payload["channel"].items():
+            channel_totals[key] = channel_totals.get(key, 0) + value
+        events_executed += payload["events_executed"]
+
+    accuracy = compare_estimates(estimates, references)
+    energy = EnergyReport.from_meters(meters, rounds=scenario.rounds)
+
+    return SimulationResult(
+        scenario=scenario,
+        energy=energy,
+        channel=ChannelStatistics(**channel_totals),
+        accuracy=accuracy,
+        estimates={n: normalise(e) for n, e in estimates.items()},
+        references={n: normalise(r) for n, r in references.items()},
+        protocol_stats=protocol_stats,
+        fault_stats=fault_stats,
+        events_executed=events_executed,
+        wallclock_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_workers(
+    scenario: ScenarioConfig,
+    data: SensorDataset,
+    topology: Topology,
+    plan: ShardPlan,
+) -> List[dict]:
+    """Spawn one worker per shard and drive the epoch loop to completion."""
+    context = multiprocessing.get_context()
+    connections = []
+    processes = []
+    try:
+        for shard, members in enumerate(plan.members):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=shard_worker_main,
+                args=(
+                    child_conn,
+                    scenario,
+                    data,
+                    topology,
+                    members,
+                    plan.boundaries[shard],
+                ),
+                name=f"repro-shard-{shard}",
+            )
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+
+        shard_count = plan.shard_count
+        inboxes: List[List[CrossingRecord]] = [[] for _ in range(shard_count)]
+        owner = plan.owner_map()
+        clocks = [0.0] * shard_count
+        while True:
+            effective_next = [_INFINITY] * shard_count
+            for shard, conn in enumerate(connections):
+                kind, *body = _receive(conn, processes[shard])
+                if kind != "barrier":  # pragma: no cover - defensive
+                    raise SimulationError(f"unexpected worker message {kind!r}")
+                next_time, now, outbox = body
+                clocks[shard] = now
+                if next_time is not None:
+                    effective_next[shard] = next_time
+                for record in outbox:
+                    inboxes[owner[record.dst]].append(record)
+            for shard in range(shard_count):
+                for record in inboxes[shard]:
+                    effective_next[shard] = min(
+                        effective_next[shard], record.deliver_time
+                    )
+            horizon = min(effective_next)
+            if horizon == _INFINITY:
+                break
+            grant = horizon + LOOKAHEAD_SECONDS
+            for shard, conn in enumerate(connections):
+                conn.send(("epoch", grant, inboxes[shard]))
+                inboxes[shard] = []
+
+        duration = max(scenario.duration, max(clocks))
+        payloads: List[Optional[dict]] = [None] * shard_count
+        for shard, conn in enumerate(connections):
+            conn.send(("finalize", duration))
+            kind, payload = _receive(conn, processes[shard])
+            if kind != "result":  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected worker message {kind!r}")
+            payloads[shard] = payload
+        return payloads
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join()
+
+
+def _receive(conn, process) -> tuple:
+    """One message from a worker; turns worker errors and dead workers into
+    :class:`SimulationError` with the worker's traceback attached."""
+    try:
+        message = conn.recv()
+    except EOFError:
+        raise SimulationError(
+            f"shard worker {process.name} exited unexpectedly "
+            f"(exit code {process.exitcode})"
+        ) from None
+    if message[0] == "error":
+        raise SimulationError(
+            f"shard worker {process.name} failed:\n{message[1]}"
+        )
+    return message

@@ -1,0 +1,129 @@
+"""Partitioning one deployment into shards along the hop-level structure.
+
+The semi-global scheme is *defined* by a hop-level decomposition of the
+network around the sink, which makes BFS hop distance the natural axis to
+cut a deployment along: nodes at the same hop level talk to each other and
+to the adjacent levels, so hop-ordered cuts minimise how much of the
+broadcast traffic becomes cross-shard.
+
+Two placement modes over the hop-sorted node order (nodes sorted by
+``(hop distance from sink, node id)`` using the CSR
+:meth:`~repro.network.topology.Topology.hop_distances_from` BFS):
+
+* ``hop-interleaved`` (default) -- deal nodes round-robin across the k
+  shards.  Every shard owns a slice of *every* hop level, which is what
+  keeps the lockstep epochs busy on all workers: the workload schedule
+  fires samples in ascending node-id order inside each round, so contiguous
+  hop bands would take turns being the only busy shard.
+* ``band`` -- contiguous hop bands (shard 0 owns the sink's levels, shard
+  k-1 the rim).  Minimises cross-shard edges at the cost of load balance;
+  kept for experiments on the bus itself.
+
+A :class:`ShardPlan` records the member sets, the owner map and the
+boundary sets (remote nodes adjacent to a shard -- exactly the nodes whose
+availability a shard must mirror and whose packets cross the bus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from ..core.errors import ConfigurationError
+from ..network.topology import Topology
+
+__all__ = ["ShardPlan", "partition_topology", "PARTITION_MODES"]
+
+#: Recognised placement modes.
+PARTITION_MODES = ("hop-interleaved", "band")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The result of cutting one topology into shards.
+
+    Attributes
+    ----------
+    members:
+        One ascending node-id tuple per shard; disjoint, covering every node.
+    boundaries:
+        Per shard, the frozen set of *remote* nodes adjacent to at least one
+        member -- the nodes whose packets and availability transitions cross
+        the bus into this shard.
+    mode:
+        The placement mode the plan was built with.
+    """
+
+    members: Tuple[Tuple[int, ...], ...]
+    boundaries: Tuple[FrozenSet[int], ...]
+    mode: str
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.members)
+
+    def owner_map(self) -> Dict[int, int]:
+        """``node_id -> shard index`` over every node of the topology."""
+        return {
+            node_id: shard
+            for shard, nodes in enumerate(self.members)
+            for node_id in nodes
+        }
+
+    def cross_edges(self, topology: Topology) -> int:
+        """Number of undirected edges whose endpoints live on different
+        shards (the traffic the bus has to carry)."""
+        owner = self.owner_map()
+        crossing = 0
+        for node_id in topology.node_ids:
+            for neighbor_id in topology.neighbors_sorted(node_id):
+                if neighbor_id > node_id and owner[node_id] != owner[neighbor_id]:
+                    crossing += 1
+        return crossing
+
+
+def partition_topology(
+    topology: Topology,
+    sink_id: int,
+    shards: int,
+    mode: str = "hop-interleaved",
+) -> ShardPlan:
+    """Cut ``topology`` into ``shards`` disjoint node sets along hop levels."""
+    if mode not in PARTITION_MODES:
+        raise ConfigurationError(
+            f"unknown partition mode {mode!r}; expected one of {PARTITION_MODES}"
+        )
+    node_ids = list(topology.node_ids)
+    if shards < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {shards}")
+    if shards > len(node_ids):
+        raise ConfigurationError(
+            f"cannot cut {len(node_ids)} nodes into {shards} shards"
+        )
+    hops = topology.hop_distances_from(sink_id)
+    order = sorted(node_ids, key=lambda node_id: (hops[node_id], node_id))
+
+    groups: Tuple[list, ...] = tuple([] for _ in range(shards))
+    if mode == "hop-interleaved":
+        for index, node_id in enumerate(order):
+            groups[index % shards].append(node_id)
+    else:  # band: contiguous hop-ordered chunks of near-equal size
+        base, extra = divmod(len(order), shards)
+        start = 0
+        for shard in range(shards):
+            size = base + (1 if shard < extra else 0)
+            groups[shard].extend(order[start : start + size])
+            start += size
+
+    members = tuple(tuple(sorted(group)) for group in groups)
+    boundaries = []
+    for group in members:
+        local = set(group)
+        boundary = {
+            neighbor_id
+            for node_id in group
+            for neighbor_id in topology.neighbors_sorted(node_id)
+            if neighbor_id not in local
+        }
+        boundaries.append(frozenset(boundary))
+    return ShardPlan(members=members, boundaries=tuple(boundaries), mode=mode)

@@ -1,0 +1,495 @@
+"""Shard-local worker runtime: one shard's slice of a deployment.
+
+Each worker process owns the :class:`~repro.network.node.SimNode` objects,
+applications, detector state and routing agents of its shard's nodes, plus a
+full (read-only) copy of the topology.  Three substitutions make the slice
+behave exactly like its cut-out of the single-process run:
+
+* :class:`ShardChannel` -- transmissions reach local receivers directly;
+  for *remote* receivers a :class:`CrossingRecord` is emitted instead of a
+  delivery event, carrying the send time (energy is charged at transmit
+  time), the delivery time (computed with the identical float expression the
+  single-process schedule uses) and the packet.  The records drain to the
+  bus at the next epoch barrier.
+* :class:`RecordingEnergyMeter` -- float accumulation order matters for
+  byte-equivalence, and a shard charges its nodes' receive energy for
+  cross-shard packets only when the records arrive.  The meter therefore
+  *records* every charge with its simulated timestamp and the lineage key
+  of the charging event, and replays them in that order at finalisation,
+  reproducing the exact per-accumulator ``+=`` order of the single-process
+  run (tx, rx and idle accumulate into separate fields, so only per-kind
+  order matters).
+* :class:`ShardFaultRuntime` -- fault transitions of local nodes run as
+  usual; transitions of *boundary* nodes (remote nodes adjacent to the
+  shard) run as mirror events that flip a mirrored up/down map -- used by
+  the channel to decide whether a remote receiver's radio is on at transmit
+  time -- and re-deliver ``neighborhood_changed`` to the local neighbors,
+  exactly as the single-process runtime would.  Mirror event executions are
+  subtracted from the shard's event count, since the owning shard already
+  counts the real transition.
+
+The worker protocol (:func:`shard_worker_main`) is a lockstep epoch loop:
+report ``(next event time, clock, outbox)`` at the barrier, receive either
+an epoch grant ``(time, inbox)`` -- inject the inbox in the canonical order
+and :meth:`~repro.simulator.engine.Simulator.run_exclusive` to the grant --
+or a finalisation request, after which the shard's slice of the result
+material is shipped back.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from ..network.channel import WirelessChannel
+from ..network.energy import EnergyMeter
+from ..network.packet import Packet
+from ..network.topology import Topology
+from ..simulator.engine import Simulator
+from ..simulator.events import EventPriority
+from ..simulator.rng import RandomStreams
+from ..wsn.deployment import Deployment, build_deployment
+from ..wsn.faults import FaultPlan, FaultRuntime
+from ..wsn.runner import schedule_workload
+from ..wsn.scenario import ScenarioConfig
+
+__all__ = [
+    "CrossingRecord",
+    "RecordingEnergyMeter",
+    "ShardChannel",
+    "ShardFaultRuntime",
+    "shard_worker_main",
+]
+
+_TX = 0
+_RX = 1
+
+
+@dataclass(frozen=True)
+class CrossingRecord:
+    """One cross-shard packet delivery in flight.
+
+    ``lineage`` is the delivery event's lineage triple ``(gen, pkey, idx)``
+    allocated on the *sending* shard (see
+    :meth:`~repro.simulator.engine.Simulator.allocate_lineage`): the
+    crossing occupies a schedule-call slot of the transmitting event
+    exactly like a local delivery would, so scheduling the injected
+    delivery under this key slots it among the receiver's simultaneous
+    events precisely where the single-process schedule would have.
+    ``sort_key`` orders injections (and therefore the receive-side
+    statistics counters) the same canonical way.
+    """
+
+    send_time: float
+    deliver_time: float
+    src: int
+    dst: int
+    packet: Packet
+    lineage: Tuple[int, Tuple, int]
+
+    @property
+    def sort_key(self) -> Tuple[float, Tuple[int, Tuple, int]]:
+        return (self.deliver_time, self.lineage)
+
+
+class RecordingEnergyMeter(EnergyMeter):
+    """An :class:`EnergyMeter` that records charges instead of summing them.
+
+    ``replay()`` pours the recorded charges, stably sorted by
+    ``(timestamp, lineage key of the charging event)``, through a plain
+    meter -- reconstructing the single-process fold order even though
+    cross-shard receive charges are appended out of order when their
+    records arrive at a barrier.  The lineage key matters: a flood
+    wavefront has many nodes transmitting different-size packets at the
+    exact same instant, so same-timestamp charges must fold into the float
+    accumulators in the order the charging *events* execute in the
+    single-process run -- which is their lineage order (see
+    :mod:`repro.simulator.events`) -- or the sum moves by an ulp.  Local
+    charges record the executing event's key; a cross-shard receive
+    records the *sender's* transmitting event's key, which is exactly the
+    event that would have charged it in one process.  The per-kind
+    accumulators are separate floats, so only per-kind order matters and
+    the tx/rx interleave is free.  The integer counters are kept live
+    (addition commutes); only the float accumulators need the ordered
+    replay.
+    """
+
+    def __init__(self, model=None, clock=None) -> None:
+        super().__init__(model=model if model is not None else EnergyMeter().model)
+        self._clock = clock or (lambda: (0.0, ()))
+        self._charges: List[Tuple[float, Tuple, int, int]] = []
+
+    def _stamp(self) -> Tuple[float, Tuple]:
+        time, key = self._clock()
+        return time, key if key is not None else ()
+
+    def charge_tx(self, size_bytes: int) -> float:
+        time, key = self._stamp()
+        self._charges.append((time, key, _TX, size_bytes))
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        return self.model.tx_energy(size_bytes)
+
+    def charge_rx(self, size_bytes: int) -> float:
+        time, key = self._stamp()
+        self._charges.append((time, key, _RX, size_bytes))
+        self.packets_received += 1
+        self.bytes_received += size_bytes
+        return self.model.rx_energy(size_bytes)
+
+    def record_remote_rx(
+        self, time: float, key: Tuple, size_bytes: int
+    ) -> None:
+        """A receive charge for a packet sent from another shard at ``time``
+        by the transmitting event with lineage key ``key`` (receive energy
+        is spent at transmit time: promiscuous radios decode the whole
+        airtime)."""
+        self._charges.append((time, key, _RX, size_bytes))
+        self.packets_received += 1
+        self.bytes_received += size_bytes
+
+    def charge_idle(self, seconds: float) -> float:  # pragma: no cover - guard
+        raise SimulationError(
+            "RecordingEnergyMeter must be replay()ed before idle accounting"
+        )
+
+    def replay(self) -> EnergyMeter:
+        """A plain meter with every charge applied in single-process order."""
+        meter = EnergyMeter(model=self.model)
+        for _time, _key, kind, size_bytes in sorted(
+            self._charges, key=lambda charge: (charge[0], charge[1])
+        ):
+            if kind == _TX:
+                meter.charge_tx(size_bytes)
+            else:
+                meter.charge_rx(size_bytes)
+        return meter
+
+
+class ShardChannel(WirelessChannel):
+    """A :class:`WirelessChannel` over the full topology with only the
+    shard's own nodes attached.
+
+    Local receivers behave exactly as in the single-process channel.  A
+    remote receiver has no attached node; if the mirrored availability map
+    says its radio is up at transmit time, a :class:`CrossingRecord` is
+    appended to the outbox instead of scheduling a delivery.  Receive
+    energy and the delivery counter for crossings are accounted on the
+    *receiving* shard when the record is injected, so per-node meters and
+    the summed channel statistics match the single-process run exactly.
+
+    Sharded execution requires a lossless channel (``loss_probability=0``,
+    no burst model): the i.i.d. and Gilbert-Elliott loss draws consume
+    shared random streams in global transmission order, which no
+    per-shard execution can reproduce.  The bus rejects lossy scenarios
+    up front.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: Topology,
+        streams: Optional[RandomStreams] = None,
+        local_ids: Sequence[int] = (),
+    ) -> None:
+        super().__init__(
+            simulator,
+            topology,
+            loss_probability=0.0,
+            streams=streams,
+            burst=None,
+        )
+        self._local_ids = frozenset(local_ids)
+        #: Crossings emitted since the last barrier drain.
+        self.outbox: List[CrossingRecord] = []
+        #: Mirrored availability of boundary nodes (absent means up);
+        #: maintained by :class:`ShardFaultRuntime`.
+        self.remote_up: Dict[int, bool] = {}
+
+    def attach(self, node) -> None:
+        if node.node_id not in self._local_ids:
+            raise SimulationError(
+                f"node {node.node_id} does not belong to this shard"
+            )
+        super().attach(node)
+        # Swap in the recording meter before any charge can happen (the
+        # node constructor attaches immediately after creating the meter).
+        node.energy = RecordingEnergyMeter(
+            model=node.energy.model,
+            clock=lambda: (
+                self.simulator.now, self.simulator.current_lineage_key
+            ),
+        )
+
+    def drain_outbox(self) -> List[CrossingRecord]:
+        drained, self.outbox = self.outbox, []
+        return drained
+
+    def transmit(self, sender_id: int, packet: Packet) -> None:
+        sender = self.node(sender_id)
+        if not sender.up:
+            return
+        airtime = sender.energy.model.airtime(packet.size_bytes)
+        sender.energy.charge_tx(packet.size_bytes)
+        self.stats.transmissions += 1
+        self.stats.bytes_transmitted += packet.size_bytes
+
+        delay = airtime + self.processing_delay
+        now = self.simulator.now
+        for neighbor_id in self.topology.neighbors_sorted(sender_id):
+            receiver = self._nodes.get(neighbor_id)
+            if receiver is not None:
+                if not receiver.up:
+                    continue
+                receiver.energy.charge_rx(packet.size_bytes)
+                self.stats.deliveries += 1
+                self.simulator.schedule(
+                    delay,
+                    receiver.deliver,
+                    packet,
+                    name=f"deliver#{packet.packet_id}->{neighbor_id}",
+                )
+            elif self.remote_up.get(neighbor_id, True):
+                # ``now + delay`` is the identical float expression
+                # ``schedule`` evaluates, so the delivery lands at the
+                # bit-exact single-process instant on the other shard.  The
+                # crossing consumes a schedule-call slot of this transmit
+                # event just like the local delivery it stands in for.
+                self.outbox.append(
+                    CrossingRecord(
+                        send_time=now,
+                        deliver_time=now + delay,
+                        src=sender_id,
+                        dst=neighbor_id,
+                        packet=packet,
+                        lineage=self.simulator.allocate_lineage(
+                            now + delay, EventPriority.NORMAL
+                        ),
+                    )
+                )
+
+    def inject(self, record: CrossingRecord) -> None:
+        """Deliver one crossing into this shard (receiver side)."""
+        receiver = self.node(record.dst)
+        # record.lineage[1] is the sender's transmitting event key -- the
+        # event that charges this receive in the single-process run.
+        receiver.energy.record_remote_rx(
+            record.send_time, record.lineage[1], record.packet.size_bytes
+        )
+        self.stats.deliveries += 1
+        # Schedule the delivery under the sender-allocated lineage so it
+        # slots among this shard's simultaneous events exactly where the
+        # single-process schedule would have put it.
+        self.simulator.schedule_at(
+            record.deliver_time,
+            receiver.deliver,
+            record.packet,
+            name=f"deliver#{record.packet.packet_id}->{record.dst}",
+            lineage=record.lineage,
+        )
+
+
+class ShardFaultRuntime(FaultRuntime):
+    """Fault runtime of one shard: real transitions for local nodes, mirror
+    transitions for boundary nodes.
+
+    A mirror transition flips the shared ``remote_up`` map (consulted by the
+    channel at transmit time) and re-delivers ``neighborhood_changed`` to
+    the affected *local* applications -- the restriction of the
+    single-process transition's effects to this shard.  Mirror executions
+    are counted so the bus can subtract them from the merged event total
+    (the owning shard counts the real event).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        nodes,
+        apps,
+        topology=None,
+        *,
+        boundary_ids: FrozenSet[int] = frozenset(),
+        remote_up: Optional[Dict[int, bool]] = None,
+    ) -> None:
+        super().__init__(plan, nodes, apps, topology=topology)
+        self._boundary = frozenset(boundary_ids)
+        self._remote_up = remote_up if remote_up is not None else {}
+        self._mirror_depth: Dict[int, int] = {}
+        self.mirror_executions = 0
+
+    def _is_up(self, node_id: int) -> bool:
+        node = self._nodes.get(node_id)
+        if node is not None:
+            return node.up
+        return self._remote_up.get(node_id, True)
+
+    def schedule(self, simulator: Simulator) -> None:
+        horizon = self.plan.duration
+        for node_id, schedule in sorted(self.plan.schedules.items()):
+            if node_id in self._nodes:
+                down, up, tag = self.power_down, self.power_up, "fault"
+            elif node_id in self._boundary:
+                down, up, tag = self.mirror_down, self.mirror_up, "mirror"
+            else:
+                continue
+            for start, end, kind in schedule.intervals:
+                if start >= horizon:
+                    continue
+                simulator.schedule_at(
+                    max(0.0, start),
+                    down,
+                    node_id,
+                    priority=EventPriority.FAULT,
+                    name=f"{tag}-down-{kind}-n{node_id}",
+                )
+                if end < horizon:
+                    simulator.schedule_at(
+                        end,
+                        up,
+                        node_id,
+                        kind,
+                        priority=EventPriority.FAULT,
+                        name=f"{tag}-up-{kind}-n{node_id}",
+                    )
+
+    def mirror_down(self, node_id: int) -> None:
+        self.mirror_executions += 1
+        depth = self._mirror_depth.get(node_id, 0) + 1
+        self._mirror_depth[node_id] = depth
+        if depth == 1:
+            self._remote_up[node_id] = False
+            self._notify_neighbors(node_id)
+
+    def mirror_up(self, node_id: int, kind: str) -> None:
+        self.mirror_executions += 1
+        depth = self._mirror_depth[node_id] - 1
+        self._mirror_depth[node_id] = depth
+        if depth == 0:
+            self._remote_up[node_id] = True
+            self._notify_neighbors(node_id)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardSlice:
+    """The assembled shard-local stack."""
+
+    deployment: Deployment
+    channel: ShardChannel
+    simulator: Simulator
+
+
+def _build_slice(
+    scenario: ScenarioConfig,
+    dataset,
+    topology: Topology,
+    local_ids: Tuple[int, ...],
+    boundary_ids: FrozenSet[int],
+) -> _ShardSlice:
+    simulator = Simulator(lineage=True)
+    streams = RandomStreams(scenario.seed)
+    channel = ShardChannel(simulator, topology, streams=streams, local_ids=local_ids)
+
+    def fault_runtime_factory(plan, nodes, apps, topology=None):
+        return ShardFaultRuntime(
+            plan,
+            nodes,
+            apps,
+            topology=topology,
+            boundary_ids=boundary_ids,
+            remote_up=channel.remote_up,
+        )
+
+    deployment = build_deployment(
+        scenario,
+        dataset,
+        topology=topology,
+        simulator=simulator,
+        channel=channel,
+        node_ids=local_ids,
+        fault_runtime_factory=fault_runtime_factory,
+    )
+    schedule_workload(deployment, local_nodes=frozenset(local_ids))
+    return _ShardSlice(deployment=deployment, channel=channel, simulator=simulator)
+
+
+def _finalize(slice_: _ShardSlice, duration: float) -> Dict[str, object]:
+    deployment = slice_.deployment
+    meters: Dict[int, EnergyMeter] = {}
+    for node_id, node in deployment.nodes.items():
+        meter = node.energy.replay()
+        meter.charge_idle(duration)
+        meters[node_id] = meter
+    fault_runtime = deployment.fault_runtime
+    mirror_executions = getattr(fault_runtime, "mirror_executions", 0)
+    return {
+        "estimates": {
+            node_id: app.estimate() for node_id, app in deployment.apps.items()
+        },
+        "protocol_stats": {
+            node_id: detector.stats.as_dict()
+            for node_id, detector in deployment.detectors.items()
+        },
+        "fault_stats": fault_runtime.stats() if fault_runtime is not None else {},
+        "skipped_keys": (
+            set(fault_runtime.skipped_keys) if fault_runtime is not None else set()
+        ),
+        "meters": meters,
+        "channel": slice_.channel.stats.as_dict(),
+        "events_executed": slice_.simulator.events_executed - mirror_executions,
+        "now": slice_.simulator.now,
+    }
+
+
+def shard_worker_main(
+    conn,
+    scenario: ScenarioConfig,
+    dataset,
+    topology: Topology,
+    local_ids: Tuple[int, ...],
+    boundary_ids: FrozenSet[int],
+) -> None:
+    """Entry point of one shard worker process.
+
+    Protocol (all messages are tuples, kind first):
+
+    * worker -> bus: ``("barrier", next_event_time | None, now, outbox)``
+    * bus -> worker: ``("epoch", grant_time, inbox)`` or
+      ``("finalize", duration)``
+    * worker -> bus: ``("result", payload)`` (after finalize), or
+      ``("error", formatted_traceback)`` on any failure.
+    """
+    try:
+        slice_ = _build_slice(scenario, dataset, topology, local_ids, boundary_ids)
+        simulator, channel = slice_.simulator, slice_.channel
+        while True:
+            conn.send(
+                (
+                    "barrier",
+                    simulator.peek_time(),
+                    simulator.now,
+                    channel.drain_outbox(),
+                )
+            )
+            message = conn.recv()
+            if message[0] == "epoch":
+                _, grant, inbox = message
+                for record in sorted(inbox, key=lambda r: r.sort_key):
+                    channel.inject(record)
+                simulator.run_exclusive(grant)
+            elif message[0] == "finalize":
+                conn.send(("result", _finalize(slice_, message[1])))
+                return
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown bus message {message[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()

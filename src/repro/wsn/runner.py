@@ -19,6 +19,7 @@ from ..core.reference import semi_global_reference_all
 from ..datasets.loader import build_intel_lab_dataset
 from ..datasets.streams import SensorDataset
 from ..network.stats import EnergyReport
+from ..network.topology import Topology
 from .deployment import Deployment, build_deployment
 from .results import SimulationResult
 from .scenario import ScenarioConfig
@@ -28,10 +29,13 @@ __all__ = [
     "run_scenario_worker",
     "run_repetitions",
     "schedule_workload",
+    "final_references",
 ]
 
 
-def schedule_workload(deployment: Deployment) -> None:
+def schedule_workload(
+    deployment: Deployment, local_nodes: Optional[Set[int]] = None
+) -> None:
     """Schedule every sampling event (and, for the centralized baseline, the
     sink's per-round outlier publication) on the deployment's simulator.
 
@@ -40,6 +44,11 @@ def schedule_workload(deployment: Deployment) -> None:
     plan's power transitions are queued as
     :attr:`~repro.simulator.events.EventPriority.FAULT`-priority events;
     without one, the schedule is exactly the pre-fault-subsystem schedule.
+
+    ``local_nodes`` restricts the schedule to a shard's own nodes.  The
+    per-node time offset still uses the *global* enumeration index over the
+    sorted sample keys, so every node samples at the exact instant it would
+    in the single-process run regardless of which shard schedules it.
     """
     scenario = deployment.scenario
     dataset = deployment.dataset
@@ -51,6 +60,8 @@ def schedule_workload(deployment: Deployment) -> None:
         base_time = round_index * period
         samples = dataset.points_at(round_index)
         for offset, node_id in enumerate(sorted(samples)):
+            if local_nodes is not None and node_id not in local_nodes:
+                continue
             app = deployment.apps[node_id]
             # A tiny deterministic per-node offset keeps simultaneous events
             # ordered consistently without materially shifting the schedule.
@@ -77,14 +88,15 @@ def schedule_workload(deployment: Deployment) -> None:
         fault_runtime.schedule(simulator)
 
 
-def _final_references(
-    deployment: Deployment, final_windows: Dict[int, List[DataPoint]]
+def final_references(
+    scenario: ScenarioConfig,
+    topology: Topology,
+    final_windows: Dict[int, List[DataPoint]],
 ) -> Dict[int, List[DataPoint]]:
     """The correct answer each node should have converged to at the end."""
-    scenario = deployment.scenario
     query = scenario.detection.make_query()
     if scenario.algorithm == Algorithm.SEMI_GLOBAL:
-        adjacency = deployment.topology.adjacency()
+        adjacency = topology.adjacency()
         return semi_global_reference_all(
             query, final_windows, adjacency, scenario.detection.hop_diameter
         )
@@ -96,7 +108,10 @@ def _final_references(
 
 
 def run_scenario(
-    scenario: ScenarioConfig, dataset: Optional[SensorDataset] = None
+    scenario: ScenarioConfig,
+    dataset: Optional[SensorDataset] = None,
+    shards: Optional[int] = None,
+    shard_mode: str = "hop-interleaved",
 ) -> SimulationResult:
     """Run one complete simulation and return its results.
 
@@ -107,7 +122,25 @@ def run_scenario(
     dataset:
         Pre-built dataset to use; when omitted one is generated from the
         scenario (deterministically, from the scenario seed).
+    shards:
+        When given, partition the deployment across this many worker
+        processes and run them in lockstep over the deterministic message
+        bus (:mod:`repro.shard`).  The result -- including ``shards=1`` --
+        is byte-identical to the single-process run; ``None`` (the default)
+        keeps the classic in-process execution.  Sharding is an *execution*
+        knob, not a scenario field: it never changes the transcript, so it
+        is deliberately not part of the orchestrator's cache key.
+    shard_mode:
+        Partition placement (``"hop-interleaved"`` or ``"band"``); see
+        :func:`repro.shard.partition.partition_topology`.
     """
+    if shards is not None:
+        # Imported lazily: repro.shard imports this module's helpers.
+        from ..shard.bus import run_sharded_scenario
+
+        return run_sharded_scenario(
+            scenario, dataset, shards=shards, mode=shard_mode
+        )
     started = time.perf_counter()
     data = dataset or build_intel_lab_dataset(scenario.dataset_config())
     deployment = build_deployment(scenario, data)
@@ -133,7 +166,7 @@ def run_scenario(
             node_id: [p for p in points if (p.origin, p.epoch) not in skipped]
             for node_id, points in final_windows.items()
         }
-    references = _final_references(deployment, final_windows)
+    references = final_references(scenario, deployment.topology, final_windows)
     estimates = {
         node_id: app.estimate() for node_id, app in deployment.apps.items()
     }
@@ -168,15 +201,19 @@ def run_scenario(
     )
 
 
-def run_scenario_worker(scenario: ScenarioConfig) -> SimulationResult:
+def run_scenario_worker(
+    scenario: ScenarioConfig, shards: Optional[int] = None
+) -> SimulationResult:
     """Pool entry point used by the sweep executor.
 
-    A module-level single-argument function so it pickles cleanly into
-    ``multiprocessing`` workers.  A scenario is a pure function of its
+    A module-level function so it pickles cleanly into ``multiprocessing``
+    workers (the executor binds ``shards`` with ``functools.partial``,
+    which pickles fine too).  A scenario is a pure function of its
     configuration (the seed drives every random stream), so running it in a
-    worker process yields the same result as running it inline.
+    worker process -- or partitioned across shard processes -- yields the
+    same result as running it inline.
     """
-    return run_scenario(scenario)
+    return run_scenario(scenario, shards=shards)
 
 
 def run_repetitions(

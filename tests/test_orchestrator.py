@@ -327,3 +327,64 @@ class TestRegistry:
         monkeypatch.setattr(executor_module, "run_scenario_worker", forbidden)
         figures = family.report(TINY_PROFILE)
         assert figures
+
+
+# ----------------------------------------------------------------------
+# Environment-driven worker defaults
+# ----------------------------------------------------------------------
+class TestDefaultWorkers:
+    def test_generic_variable_is_the_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WSN_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert executor_module.default_workers() == 3
+
+    def test_wsn_override_takes_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_WSN_WORKERS", "7")
+        assert executor_module.default_workers() == 7
+
+    def test_wsn_override_is_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WSN_WORKERS", "0")
+        assert executor_module.default_workers() == 1
+        monkeypatch.setenv("REPRO_WSN_WORKERS", "-4")
+        assert executor_module.default_workers() == 1
+
+    def test_wsn_override_must_be_an_integer(self, monkeypatch):
+        from repro.core.errors import ExperimentError
+
+        monkeypatch.setenv("REPRO_WSN_WORKERS", "many")
+        with pytest.raises(ExperimentError):
+            executor_module.default_workers()
+
+    def test_blank_wsn_override_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WSN_WORKERS", "  ")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert executor_module.default_workers() == 2
+
+
+# ----------------------------------------------------------------------
+# Sharded misses through the executor
+# ----------------------------------------------------------------------
+class TestExecutorShards:
+    def test_sharded_misses_match_the_plain_path(self, tmp_path):
+        scenario = tiny_scenario()
+        plain = run_scenarios([scenario])[0]
+        clear_memory()
+        events = []
+        sharded = run_scenarios(
+            [scenario],
+            shards=2,
+            progress=lambda event, *_: events.append(event),
+        )[0]
+        assert events == ["computed"]
+        assert sharded.canonical_json() == plain.canonical_json()
+
+    def test_sharded_store_entry_is_byte_identical(self, tmp_path):
+        scenario = tiny_scenario(seed=5)
+        cold_store = ResultStore(tmp_path / "cold")
+        shard_store = ResultStore(tmp_path / "shard")
+        run_scenarios([scenario], store=cold_store)
+        clear_memory()
+        run_scenarios([scenario], store=shard_store, shards=2)
+        assert cold_store.get(scenario).canonical_json() == \
+            shard_store.get(scenario).canonical_json()

@@ -1,0 +1,201 @@
+"""Golden byte-equivalence of sharded execution (``repro.shard``).
+
+The sharded message bus promises that ``run_scenario(..., shards=k)`` is
+*byte-identical* (``SimulationResult.canonical_json``) to the
+single-process run -- not statistically close, identical.  These tests pin
+that promise on the paper's 53-node deployment across every algorithm,
+every registered metric space, fault churn on and off, and shard counts
+1/2/4, plus the partitioner's structural invariants and the up-front
+rejection of the two scenario knobs sharding cannot replay (shared-stream
+channel loss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.config import Algorithm, DetectionConfig
+from repro.core.errors import ConfigurationError
+from repro.experiments.sweeps import METRIC_VARIANTS
+from repro.network.topology import Topology
+from repro.shard import PARTITION_MODES, partition_topology
+from repro.wsn.faults import FaultConfig
+from repro.wsn.runner import run_scenario
+from repro.wsn.scenario import ScenarioConfig
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Crash/recovery churn plus duty-cycle sleep: every fault-runtime code
+#: path the mirror events must replicate (down nodes, timed recoveries,
+#: periodic sleep), with recovery_probability=1.0 so the tiny grid still
+#: converges to something worth comparing.
+CHURN = FaultConfig(
+    crash_probability=0.25,
+    recovery_probability=1.0,
+    min_downtime_rounds=1,
+    max_downtime_rounds=2,
+    duty_cycle=0.9,
+    duty_period_rounds=2,
+)
+
+_ALGORITHMS = {
+    "global": DetectionConfig(
+        algorithm=Algorithm.GLOBAL, ranking="nn", n_outliers=4, k=4,
+        window_length=3,
+    ),
+    "semi-global": DetectionConfig(
+        algorithm=Algorithm.SEMI_GLOBAL, ranking="knn", n_outliers=4, k=4,
+        window_length=3, hop_diameter=2,
+    ),
+    "centralized": DetectionConfig(
+        algorithm=Algorithm.CENTRALIZED, ranking="nn", n_outliers=4, k=4,
+        window_length=3,
+    ),
+}
+
+#: Single-process transcripts, computed once per scenario and shared by
+#: every shard count (the expensive half of each comparison).
+_BASELINES: Dict[ScenarioConfig, str] = {}
+
+
+def golden(scenario: ScenarioConfig) -> str:
+    if scenario not in _BASELINES:
+        _BASELINES[scenario] = run_scenario(scenario).canonical_json()
+    return _BASELINES[scenario]
+
+
+def algorithm_scenario(name: str, faults: bool) -> ScenarioConfig:
+    return ScenarioConfig(
+        detection=_ALGORITHMS[name],
+        rounds=3,
+        faults=CHURN if faults else FaultConfig(),
+        seed=0,
+    )
+
+
+class TestGoldenEquivalence:
+    """53-node deployment, every algorithm, faults on/off, shards 1/2/4."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("faults", [False, True], ids=["static", "churn"])
+    @pytest.mark.parametrize("algorithm", sorted(_ALGORITHMS))
+    def test_sharded_transcript_is_byte_identical(
+        self, algorithm, faults, shards
+    ):
+        scenario = algorithm_scenario(algorithm, faults)
+        sharded = run_scenario(scenario, shards=shards)
+        assert sharded.canonical_json() == golden(scenario)
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_placement_mode_does_not_change_the_transcript(self, mode):
+        scenario = algorithm_scenario("semi-global", True)
+        sharded = run_scenario(scenario, shards=3, shard_mode=mode)
+        assert sharded.canonical_json() == golden(scenario)
+
+
+class TestMetricEquivalence:
+    """Every registered metric space (4-d points) stays byte-identical."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "metric,metric_params",
+        [(metric, params) for _label, metric, params in METRIC_VARIANTS],
+        ids=[label for label, _, _ in METRIC_VARIANTS],
+    )
+    def test_sharded_transcript_is_byte_identical(
+        self, metric, metric_params, shards
+    ):
+        scenario = ScenarioConfig(
+            detection=DetectionConfig(
+                algorithm=Algorithm.SEMI_GLOBAL, ranking="nn", n_outliers=4,
+                k=4, window_length=2, hop_diameter=2, metric=metric,
+                metric_params=metric_params,
+            ),
+            rounds=2,
+            extra_channels=1,
+            seed=0,
+        )
+        sharded = run_scenario(scenario, shards=shards)
+        assert sharded.canonical_json() == golden(scenario)
+
+
+class TestRejectedConfigurations:
+    """Scenario knobs whose shared random streams no per-shard execution
+    can replay are rejected up front, not silently diverged from."""
+
+    def test_iid_loss_is_rejected(self):
+        scenario = ScenarioConfig(
+            detection=_ALGORITHMS["global"], rounds=2, loss_probability=0.1,
+        )
+        with pytest.raises(ConfigurationError, match="loss"):
+            run_scenario(scenario, shards=2)
+
+    def test_burst_loss_is_rejected(self):
+        scenario = ScenarioConfig(
+            detection=_ALGORITHMS["global"],
+            rounds=2,
+            faults=FaultConfig(
+                burst_to_bad=0.05, burst_to_good=0.25, burst_loss_bad=0.8
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="burst"):
+            run_scenario(scenario, shards=2)
+
+    def test_invalid_shard_count_is_rejected(self):
+        scenario = ScenarioConfig(detection=_ALGORITHMS["global"], rounds=2)
+        with pytest.raises(ConfigurationError, match="shards"):
+            run_scenario(scenario, shards=0)
+
+
+# ----------------------------------------------------------------------
+# Partitioner invariants
+# ----------------------------------------------------------------------
+def line_topology(n: int) -> Topology:
+    return Topology.from_positions(
+        {i: (float(i), 0.0) for i in range(n)}, transmission_range=1.5
+    )
+
+
+class TestPartitioner:
+    def test_members_are_a_disjoint_cover(self):
+        topology = line_topology(10)
+        for mode in PARTITION_MODES:
+            plan = partition_topology(topology, 0, 3, mode=mode)
+            everyone = [n for members in plan.members for n in members]
+            assert sorted(everyone) == list(range(10))
+            assert len(everyone) == len(set(everyone))
+
+    def test_hop_interleaved_balances_shard_sizes(self):
+        plan = partition_topology(line_topology(10), 0, 3)
+        sizes = sorted(len(members) for members in plan.members)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_band_mode_cuts_contiguous_hop_bands(self):
+        # On a line rooted at node 0, hop distance equals the node id, so
+        # band partitions must be contiguous id ranges.
+        plan = partition_topology(line_topology(9), 0, 3, mode="band")
+        assert plan.members == ((0, 1, 2), (3, 4, 5), (6, 7, 8))
+
+    def test_boundaries_are_the_remote_neighbors(self):
+        plan = partition_topology(line_topology(9), 0, 3, mode="band")
+        # Shard 1 owns 3..5; its remote neighbors are 2 (from shard 0) and
+        # 6 (from shard 2).
+        assert plan.boundaries[1] == frozenset({2, 6})
+
+    def test_owner_map_inverts_members(self):
+        plan = partition_topology(line_topology(10), 0, 4)
+        owner = plan.owner_map()
+        for shard, members in enumerate(plan.members):
+            for node in members:
+                assert owner[node] == shard
+
+    def test_invalid_arguments_are_rejected(self):
+        topology = line_topology(4)
+        with pytest.raises(ConfigurationError):
+            partition_topology(topology, 0, 0)
+        with pytest.raises(ConfigurationError):
+            partition_topology(topology, 0, 5)
+        with pytest.raises(ConfigurationError):
+            partition_topology(topology, 0, 2, mode="random")

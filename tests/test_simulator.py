@@ -1,6 +1,8 @@
 """Tests for the discrete-event engine, events and random streams."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import SimulationError
 from repro.simulator import Event, EventPriority, RandomStreams, Simulator
@@ -20,6 +22,17 @@ class TestEvent:
         event.cancel()
         event.fire()
         assert fired == []
+
+    def test_sort_key_is_the_total_order(self):
+        a = Event(time=1.0, priority=EventPriority.HIGH)
+        b = Event(time=1.0, priority=EventPriority.NORMAL)
+        c = Event(time=1.0, priority=EventPriority.NORMAL)
+        assert a.sort_key == (1.0, EventPriority.HIGH, 0, (), 0, a.sequence)
+        # Comparison and sort_key must agree: a before b (priority), b
+        # before c (sequence: b was constructed first).
+        assert (a < b) == (a.sort_key < b.sort_key)
+        assert (b < c) == (b.sort_key < c.sort_key)
+        assert sorted([c, a, b]) == sorted([c, a, b], key=lambda e: e.sort_key)
 
 
 class TestSimulator:
@@ -102,6 +115,194 @@ class TestSimulator:
         sim.run()
         assert sim.events_scheduled == 2
         assert sim.events_executed == 2
+
+
+class TestTotalOrderReplay:
+    """Property tests of the event total order: the execution the engine
+    replays is exactly the schedule sorted by ``Event.sort_key``, chopping
+    the run into arbitrary exclusive epochs (the sharded bus's barrier
+    primitive) never changes it, and a lineage-tracking simulator fires in
+    exactly the order a plain one does."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_replay_is_the_sort_key_order(self, data):
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False, allow_infinity=False),
+                    st.sampled_from(
+                        [EventPriority.HIGH, EventPriority.NORMAL,
+                         EventPriority.FAULT, EventPriority.LOW]
+                    ),
+                ),
+                min_size=1,
+                max_size=30,
+            )
+        )
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule_at(
+                time, fired.append, index, priority=priority
+            )
+            for index, (time, priority) in enumerate(entries)
+        ]
+        sim.run()
+        expected = [
+            event.args[0]
+            for event in sorted(events, key=lambda e: e.sort_key)
+        ]
+        assert fired == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_exclusive_epochs_replay_identically(self, data):
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False, allow_infinity=False),
+                    st.sampled_from(
+                        [EventPriority.HIGH, EventPriority.NORMAL,
+                         EventPriority.LOW]
+                    ),
+                ),
+                min_size=1,
+                max_size=30,
+            )
+        )
+        grants = sorted(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=11.0,
+                              allow_nan=False, allow_infinity=False),
+                    max_size=5,
+                )
+            )
+        )
+
+        def build(record):
+            sim = Simulator()
+            for index, (time, priority) in enumerate(entries):
+                sim.schedule_at(time, record.append, index, priority=priority)
+            return sim
+
+        continuous = []
+        build(continuous).run()
+
+        chopped = []
+        sim = Simulator()
+        for index, (time, priority) in enumerate(entries):
+            sim.schedule_at(time, chopped.append, index, priority=priority)
+        for grant in grants:
+            sim.run_exclusive(grant)
+        sim.run()  # drain whatever the last grant left pending
+        assert chopped == continuous
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_lineage_order_equals_sequence_order(self, data):
+        # Random seed events, each of which may recursively schedule
+        # children -- some at the *same* instant (a cascade, the case the
+        # lineage generation field exists for), some later.  The lineage
+        # simulator must fire everything in exactly the plain simulator's
+        # (time, priority, sequence) order.
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.0, max_value=4.0,
+                              allow_nan=False, allow_infinity=False),
+                    st.sampled_from(
+                        [EventPriority.HIGH, EventPriority.NORMAL]
+                    ),
+                    st.integers(min_value=0, max_value=2),  # cascade depth
+                    st.integers(min_value=1, max_value=2),  # fan-out
+                ),
+                min_size=1,
+                max_size=12,
+            )
+        )
+
+        def run(sim):
+            fired = []
+            counter = iter(range(10**6))
+
+            def cascade(label, priority, depth, fanout):
+                fired.append(label)
+                if depth <= 0:
+                    return
+                for child in range(fanout):
+                    same_instant = (depth + child) % 2 == 0
+                    delay = 0.0 if same_instant else 0.25
+                    sim.schedule(
+                        delay, cascade,
+                        (label, child), priority, depth - 1, fanout,
+                    )
+
+            for index, (time, priority, depth, fanout) in enumerate(entries):
+                sim.schedule_at(
+                    time, cascade, (next(counter),), priority, depth, fanout,
+                    priority=priority,
+                )
+            sim.run()
+            return fired
+
+        assert run(Simulator(lineage=True)) == run(Simulator())
+
+    def test_lineage_keys_are_unique_and_match_execution(self):
+        sim = Simulator(lineage=True)
+        fired = []
+
+        def parent():
+            fired.append("parent")
+            sim.schedule(0.0, fired.append, "same-instant child")
+            sim.schedule(1.0, fired.append, "later child")
+
+        sim.schedule_at(1.0, parent)
+        sim.schedule_at(1.0, fired.append, "sibling seed")
+        sim.run()
+        # The same-instant child is generation 1: it fires after every
+        # generation-0 event at its instant, including the sibling seed
+        # that was scheduled *before* it existed.
+        assert fired == [
+            "parent", "sibling seed", "same-instant child", "later child"
+        ]
+
+    def test_allocate_lineage_consumes_a_child_slot(self):
+        sim = Simulator(lineage=True)
+        allocated = []
+        events = []
+
+        def parent():
+            allocated.append(sim.allocate_lineage(2.0, EventPriority.NORMAL))
+            events.append(sim.schedule_at(2.0, lambda: None))
+
+        sim.schedule_at(1.0, parent)
+        sim.run(until=1.5)
+        (lineage,), (event,) = allocated, events
+        # The explicit allocation took child slot 0, the later schedule
+        # call slot 1, both under the parent's key.
+        assert lineage[2] == 0
+        assert event.idx == 1
+        assert event.pkey == lineage[1]
+        with pytest.raises(SimulationError):
+            Simulator().allocate_lineage(1.0, EventPriority.NORMAL)
+
+    def test_run_exclusive_is_exclusive_and_keeps_the_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "a")
+        sim.schedule_at(2.0, fired.append, "b")
+        sim.run_exclusive(2.0)
+        assert fired == ["a"]
+        # The boundary event did not run and the clock sits at the last
+        # executed event, never fast-forwarded to the grant.
+        assert sim.now == 1.0
+        assert sim.pending == 1
+        sim.run_exclusive(2.0 + 1e-9)
+        assert fired == ["a", "b"]
 
 
 class TestRandomStreams:
