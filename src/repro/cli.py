@@ -52,6 +52,16 @@ the single-process run), or measure the sharded-execution speedup into
 
     repro-wsn run --algorithm semi-global --nodes 256 --rounds 6 --shards 4
     repro-wsn bench --shard --quick --check --shard-floor 1.2
+
+Inject deterministic process faults (kill/hang real worker processes) and
+watch the run recover to the byte-identical result -- chaos implies
+checkpoint/restart supervision on the sharded path and retry/quarantine on
+the sweep pool; ``bench --recovery`` measures what the fault tolerance
+costs::
+
+    repro-wsn run --nodes 64 --rounds 6 --shards 2 --chaos 'kill:shard1@epoch3'
+    repro-wsn sweep figure4 --workers 4 --chaos 'kill:worker0@task2'
+    repro-wsn bench --recovery --quick --check
 """
 
 from __future__ import annotations
@@ -137,6 +147,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="hop-interleaved",
         help="shard placement: hop-interleaved balances every hop level "
         "across shards (default), band cuts contiguous hop bands",
+    )
+    run.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection against the shard workers, "
+        "e.g. 'kill:shard1@epoch3,hang:shard0@epoch2' (requires "
+        "--shards; enables checkpoint/restart recovery; the result "
+        "stays byte-identical to the fault-free run)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="with --shards, checkpoint every N bus epochs (default: 16 "
+        "once recovery is active; recovery activates when this flag, "
+        "--checkpoint-dir or --chaos is given)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for checkpoint snapshots (default: a per-run "
+        "temporary directory)",
+    )
+    run.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --shards and recovery active, declare a shard worker "
+        "hung after this long without a barrier message and restart it "
+        "(default: 600; hang chaos requires a finite timeout)",
     )
     run.add_argument(
         "--json",
@@ -302,6 +345,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="shard count the --shard-floor is evaluated at (default: 4)",
     )
+    bench.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the recovery benchmark (checkpoint-write latency, "
+        "checkpointing overhead vs. recovery-off, and restart-to-"
+        "caught-up time after an injected kill; emits "
+        "BENCH_recovery.json) instead of the hotpath/e2e suites",
+    )
+    bench.add_argument(
+        "--recovery-nodes",
+        type=int,
+        default=None,
+        help="network size for --recovery (default: 256; 64 with --quick)",
+    )
+    bench.add_argument(
+        "--recovery-every",
+        type=int,
+        default=None,
+        help="checkpoint interval in bus epochs for --recovery "
+        "(default: 64)",
+    )
+    bench.add_argument(
+        "--recovery-ceiling",
+        type=float,
+        default=1.5,
+        help="with --recovery --check, maximum acceptable checkpointing "
+        "wall-clock overhead ratio vs. the recovery-off run "
+        "(default: 1.5)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -348,6 +420,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-report",
         action="store_true",
         help="only resolve the scenario grid; skip rendering the tables",
+    )
+    sweep.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection against the sweep pool "
+        "workers, e.g. 'kill:worker0@task2,hang:worker1' (hang "
+        "detection needs --scenario-timeout); results are retried on a "
+        "fresh worker and stay bit-identical",
+    )
+    sweep.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        help="seconds one scenario may run in a pool worker before the "
+        "worker is killed and the scenario retried (default: no limit)",
     )
     return parser
 
@@ -410,9 +498,53 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+
+    chaos = None
+    recovery = None
+    wants_recovery = (
+        args.chaos
+        or args.checkpoint_every is not None
+        or args.checkpoint_dir
+        or args.heartbeat_timeout is not None
+    )
+    if wants_recovery and args.shards is None:
+        print(
+            "error: --chaos/--checkpoint-*/--heartbeat-timeout apply to "
+            "sharded execution; add --shards",
+            file=sys.stderr,
+        )
+        return 2
+    if wants_recovery:
+        from .recovery import ChaosPlan, RecoveryConfig
+
+        try:
+            if args.chaos:
+                chaos = ChaosPlan.parse(args.chaos)
+            recovery_overrides = {}
+            if args.heartbeat_timeout is not None:
+                recovery_overrides["heartbeat_timeout"] = args.heartbeat_timeout
+            recovery = RecoveryConfig(
+                checkpoint_every=(
+                    args.checkpoint_every
+                    if args.checkpoint_every is not None
+                    else 16
+                ),
+                directory=args.checkpoint_dir,
+                **recovery_overrides,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    recovery_stats: dict = {}
     try:
         result = run_scenario(
-            scenario, shards=args.shards, shard_mode=args.shard_mode
+            scenario,
+            shards=args.shards,
+            shard_mode=args.shard_mode,
+            recovery=recovery,
+            chaos=chaos,
+            recovery_stats=recovery_stats if wants_recovery else None,
         )
     except ReproError as error:
         # Configuration problems only detectable mid-run (e.g. a metric
@@ -425,11 +557,30 @@ def _command_run(args: argparse.Namespace) -> int:
             "scenario": scenario.to_json_dict(),
             "summary": result.summary(),
         }
+        if wants_recovery:
+            payload["recovery"] = recovery_stats
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"scenario: {scenario.label()}  nodes={args.nodes} rounds={args.rounds} w={args.window}")
     for key, value in result.summary().items():
         print(f"  {key:24s} {value:.6g}")
+    if wants_recovery:
+        checkpoints = recovery_stats.get("checkpoints", [])
+        restarts = recovery_stats.get("restarts", [])
+        print(
+            f"recovery: {recovery_stats.get('epochs', 0)} epochs, "
+            f"{len(checkpoints)} checkpoint(s), {len(restarts)} restart(s)"
+        )
+        for fired in recovery_stats.get("chaos", []):
+            print(f"  chaos fired: {fired}")
+        for restart in restarts:
+            print(
+                f"  shard {restart['shard']} restarted from epoch "
+                f"{restart['resumed_from_epoch']} "
+                f"(replayed {restart['replayed_epochs']} epoch(s), "
+                f"downtime {restart['downtime_seconds']:.3f}s): "
+                f"{restart['reason']}"
+            )
     return 0
 
 
@@ -482,6 +633,32 @@ def _command_bench(args: argparse.Namespace) -> int:
         run_shard_bench,
         write_bench_artifacts,
     )
+
+    if args.recovery:
+        from .bench import (
+            check_recovery_ceiling,
+            render_recovery_table,
+            run_recovery_bench,
+        )
+
+        if args.recovery_every is not None and args.recovery_every < 1:
+            print("error: --recovery-every must be >= 1", file=sys.stderr)
+            return 2
+        recovery = run_recovery_bench(
+            nodes=args.recovery_nodes,
+            checkpoint_every=args.recovery_every,
+            quick=args.quick,
+        )
+        print(render_recovery_table(recovery))
+        written = write_bench_artifacts(args.output_dir, recovery=recovery)
+        for path in written:
+            print(f"wrote {path}")
+        if args.check:
+            ok, message = check_recovery_ceiling(recovery, args.recovery_ceiling)
+            print(message)
+            if not ok:
+                return 1
+        return 0
 
     if args.shard:
         from .bench import DEFAULT_SHARD_COUNTS
@@ -673,6 +850,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+
+    chaos = None
+    recovery = None
+    if args.chaos or args.scenario_timeout is not None:
+        from .recovery import ChaosPlan, RecoveryConfig
+
+        try:
+            if args.chaos:
+                chaos = ChaosPlan.parse(args.chaos)
+            recovery = RecoveryConfig(scenario_timeout=args.scenario_timeout)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     scenarios = list(family.build(profile))
 
     counts = {"memory": 0, "store": 0, "computed": 0}
@@ -682,13 +872,38 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"[{done}/{total}] {event:8s} {scenario.label()}  seed={scenario.seed}")
 
     started = time.perf_counter()
-    run_scenarios(
-        scenarios,
-        workers=workers,
-        store=store,
-        progress=progress,
-        shards=args.shards,
-    )
+    try:
+        run_scenarios(
+            scenarios,
+            workers=workers,
+            store=store,
+            progress=progress,
+            shards=args.shards,
+            recovery=recovery,
+            chaos=chaos,
+        )
+    except KeyboardInterrupt:
+        # Workers are torn down by the supervisor / pool context managers;
+        # everything finished so far is already written through to the
+        # store, so an interrupted sweep is a *paused* sweep, not a lost
+        # one -- say so instead of dumping a traceback.
+        finished = sum(counts.values())
+        print()
+        print(
+            f"interrupted: {finished}/{len(scenarios)} scenario(s) resolved "
+            f"({counts['computed']} computed and flushed to "
+            f"{store.root if store is not None else 'the memory tier only'})."
+        )
+        if store is not None:
+            print("rerun the same sweep command to resume from the store.")
+        else:
+            print("pass --store DIR to make interrupted sweeps resumable.")
+        return 130
+    except ExperimentError as error:
+        # Poison quarantine: completed scenarios are cached, the poisoned
+        # ones are recorded in the store -- report and fail cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
     unique = sum(counts.values())
     print(

@@ -38,14 +38,15 @@ from __future__ import annotations
 
 import os
 from functools import partial
-from multiprocessing import get_context
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.errors import ExperimentError
+from ..recovery.chaos import ChaosPlan
+from ..recovery.supervisor import RecoveryConfig, SweepSupervisor
 from ..wsn.results import SimulationResult
 from ..wsn.runner import run_scenario_worker
 from ..wsn.scenario import ScenarioConfig
-from .store import ResultStore
+from .store import ResultStore, scenario_key
 
 __all__ = [
     "run_scenarios",
@@ -126,6 +127,8 @@ def run_scenarios(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressCallback] = None,
     shards: Optional[int] = None,
+    recovery: Optional[RecoveryConfig] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[SimulationResult]:
     """Resolve every scenario, in order, through cache tiers + execution.
 
@@ -134,7 +137,7 @@ def run_scenarios(
     scenarios:
         The batch to resolve; duplicates are computed once.
     workers:
-        Size of the ``multiprocessing`` pool; ``1`` (the default) runs every
+        Size of the supervised worker pool; ``1`` (the default) runs every
         miss inline in this process, which is also the graceful fallback
         when an environment cannot fork.
     store:
@@ -153,11 +156,30 @@ def run_scenarios(
         daemonic and may not spawn the shard processes).  Results are
         byte-identical either way, so cache keys and store entries do not
         change.
+    recovery:
+        Fault-tolerance knobs for the worker pool (per-scenario timeout,
+        retry budget, restart backoff); defaults apply when omitted.  Like
+        ``workers`` this is an execution knob: it never changes what a
+        scenario computes.
+    chaos:
+        A :class:`~repro.recovery.chaos.ChaosPlan` whose ``worker`` actions
+        are inflicted on the pool workers (``shard`` actions are forwarded
+        into sharded misses when ``shards`` is set).  Chaos against pool
+        workers forces the supervised-pool path even for ``workers == 1``.
 
     Returns
     -------
     One :class:`SimulationResult` per requested scenario, aligned with the
     input order (duplicates share the same object).
+
+    Raises
+    ------
+    ExperimentError
+        When scenarios exhausted their retry budget (*poison*).  Every
+        other result is already written through to the store, and each
+        poisoned scenario is recorded there via
+        :meth:`~repro.orchestrator.store.ResultStore.record_poison`, so a
+        rerun resumes warm and the quarantine is inspectable.
     """
     requested = list(scenarios)
     if workers < 1:
@@ -189,30 +211,67 @@ def run_scenarios(
                 continue
         missing.append(scenario)
 
-    def consume(computed) -> None:
-        # Results are persisted and reported one by one as they complete,
-        # so an interrupted sweep keeps everything finished so far and
-        # progress lines appear incrementally.
+    def consume_one(scenario: ScenarioConfig, result: SimulationResult) -> None:
+        # Results are persisted and reported one by one as they complete --
+        # keyed by scenario, not by submission order, because the supervised
+        # pool yields in *completion* order and a retried scenario can
+        # overtake the batch -- so an interrupted sweep keeps everything
+        # finished so far and progress lines appear incrementally.
         nonlocal done
-        for scenario, result in zip(missing, computed):
-            _MEMORY[scenario] = result
-            if store is not None:
-                store.put(result)
-            done += 1
-            if progress is not None:
-                progress("computed", scenario, done, total)
+        _MEMORY[scenario] = result
+        if store is not None:
+            store.put(result)
+        done += 1
+        if progress is not None:
+            progress("computed", scenario, done, total)
 
+    pool_chaos = chaos is not None and chaos.has("worker")
+    timed = recovery is not None and recovery.scenario_timeout is not None
     if missing:
         if shards is not None:
-            compute = partial(run_scenario_worker, shards=shards)
-            consume(map(compute, missing))
-        elif workers == 1 or len(missing) == 1:
-            consume(map(run_scenario_worker, missing))
+            compute = partial(
+                run_scenario_worker,
+                shards=shards,
+                recovery=recovery,
+                chaos=chaos,
+            )
+            for scenario in missing:
+                consume_one(scenario, compute(scenario))
+        elif workers == 1 and not pool_chaos and not timed:
+            for scenario in missing:
+                consume_one(scenario, run_scenario_worker(scenario))
         else:
-            # ``fork`` keeps worker start-up cheap where available;
-            # ``get_context()`` falls back to the platform default elsewhere.
-            with get_context().Pool(processes=min(workers, len(missing))) as pool:
-                consume(pool.imap(run_scenario_worker, missing))
+            # Module global resolved at call time so tests can monkeypatch
+            # the worker; the (fork-started) supervised pool inherits it.
+            supervisor = SweepSupervisor(
+                run_scenario_worker,
+                min(workers, len(missing)),
+                recovery=recovery,
+                chaos=chaos,
+            )
+            try:
+                for scenario, result in supervisor.run(missing):
+                    consume_one(scenario, result)
+            finally:
+                supervisor.close()
+            if supervisor.poisoned:
+                labels = []
+                for entry in supervisor.poisoned:
+                    if store is not None:
+                        store.record_poison(
+                            entry["scenario"], entry["reason"], entry["attempts"]
+                        )
+                    labels.append(
+                        f"{scenario_key(entry['scenario'])[:12]} after "
+                        f"{entry['attempts']} attempts "
+                        f"({entry['reason'].splitlines()[0]})"
+                    )
+                raise ExperimentError(
+                    f"{len(labels)} scenario(s) quarantined as poison: "
+                    + "; ".join(labels)
+                    + ". Completed results are cached; rerun to resume, or "
+                    "inspect the store's .poison markers."
+                )
 
     return [_MEMORY[scenario] for scenario in requested]
 

@@ -11,13 +11,21 @@ whatever subset of its grid already landed on disk.
 
 Robustness rules:
 
-* writes are atomic (temp file + ``os.replace``), so a killed process never
-  leaves a half-written entry under a final key;
-* reads treat *any* undecodable file -- truncated, corrupted, produced by an
-  incompatible schema -- as a cache miss and recompute, never crash;
+* writes are atomic and durable (temp file + flush + ``fsync`` +
+  ``os.replace``), so neither a killed process nor a power cut can leave a
+  half-written entry under a final key;
+* reads treat an *undecodable* file -- truncated, corrupted, produced by an
+  incompatible schema -- as a cache miss and recompute, never crash; the
+  bad file is quarantined aside to ``<key>.corrupt`` (with a log line) so
+  disk faults stay observable instead of being silently overwritten;
 * a decoded entry whose embedded scenario does not match the requested one
   (hash collision, or an encoding that silently dropped a field) is also a
-  miss.
+  miss -- but *not* quarantined: the file is a perfectly healthy entry for
+  some other schema epoch, just not an answer to this request;
+* a scenario that repeatedly crashes its worker is recorded as a *poison
+  marker* (``<key>.poison``, see :meth:`ResultStore.record_poison`) by the
+  supervised sweep executor, so a resumed sweep can see -- and a human can
+  inspect -- what was quarantined rather than wondering what went missing.
 
 Cache-key hygiene invariants (what keeps a warm store trustworthy):
 
@@ -38,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
@@ -51,6 +60,8 @@ __all__ = [
     "scenario_key",
     "ResultStore",
 ]
+
+logger = logging.getLogger("repro.orchestrator")
 
 #: Stamped into every store key.  A stored result is a pure function of the
 #: scenario *and of the simulation code*: bump this whenever a change to the
@@ -124,21 +135,84 @@ class ResultStore:
         except FileNotFoundError:
             return None
         except Exception:
-            # Truncated write, corrupted bytes, incompatible schema: miss.
+            # Truncated write, corrupted bytes, incompatible schema: a miss,
+            # but quarantine the file aside so the disk fault stays
+            # observable (and the recompute's overwrite cannot hide it).
+            quarantined = path.with_suffix(".corrupt")
+            try:
+                os.replace(path, quarantined)
+            except OSError:  # pragma: no cover - raced or unwritable dir
+                return None
+            logger.warning(
+                "quarantined undecodable result entry %s -> %s",
+                path,
+                quarantined,
+            )
             return None
         if result.scenario != scenario:
+            # Healthy file, wrong scenario (key collision / schema drift):
+            # a silent miss, not a quarantine.
             return None
         return result
 
     def put(self, result: SimulationResult) -> Path:
-        """Atomically persist ``result`` under its scenario's key."""
+        """Durably and atomically persist ``result`` under its scenario's key.
+
+        The payload is flushed and fsynced before the atomic rename: a
+        sweep's write-through cache is its crash-recovery story, so once
+        ``put`` returns the entry must survive the process dying at any
+        later instant.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(result.scenario)
         payload = json.dumps(result.to_json_dict(), sort_keys=True, indent=1)
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
-        tmp.write_text(payload)
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
+
+    # ------------------------------------------------------------------
+    # Poison markers
+    # ------------------------------------------------------------------
+    def poison_path_for(self, scenario: ScenarioConfig) -> Path:
+        # ``.poison``, not ``.poison.json``: markers must never match the
+        # ``*.json`` glob that enumerates result entries.
+        return self.root / f"{scenario_key(scenario)}.poison"
+
+    def record_poison(
+        self, scenario: ScenarioConfig, reason: str, attempts: int
+    ) -> Path:
+        """Record that ``scenario`` was quarantined after ``attempts``
+        failed executions (see
+        :class:`~repro.recovery.supervisor.SweepSupervisor`)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.poison_path_for(scenario)
+        payload = json.dumps(
+            {
+                "scenario": scenario.to_json_dict(),
+                "reason": reason,
+                "attempts": attempts,
+            },
+            sort_keys=True,
+            indent=1,
+        )
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        logger.warning("recorded poison scenario marker %s", path)
+        return path
+
+    def poison_entries(self) -> List[Path]:
+        """Paths of every recorded poison marker."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.poison"))
 
     def __contains__(self, scenario: ScenarioConfig) -> bool:  # type: ignore[override]
         return self.get(scenario) is not None

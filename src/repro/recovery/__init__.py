@@ -1,0 +1,43 @@
+"""Fault-tolerant execution: checkpoints, supervision, replay, chaos.
+
+This package makes the distributed execution paths (the sharded bus of
+:mod:`repro.shard` and the sweep executor of :mod:`repro.orchestrator`)
+survive worker crashes and hangs without giving up determinism:
+
+* :mod:`repro.recovery.store` -- durable content-addressed snapshot files.
+* :mod:`repro.recovery.checkpoint` -- snapshot (de)serialization and the
+  checkpoint cadence policy.
+* :mod:`repro.recovery.supervisor` -- heartbeat monitoring, restart with
+  bounded backoff, byte-exact epoch replay, retry/poison quarantine.
+* :mod:`repro.recovery.chaos` -- deterministic process-level fault
+  injection (``--chaos 'kill:shard1@epoch3,hang:worker2'``).
+"""
+
+from .chaos import ChaosAction, ChaosPlan
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointPolicy,
+    capture_state,
+    restore_state,
+)
+from .store import CheckpointStore
+from .supervisor import (
+    RecoveryConfig,
+    ShardSupervisor,
+    SweepSupervisor,
+    sweep_worker_main,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ChaosAction",
+    "ChaosPlan",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "RecoveryConfig",
+    "ShardSupervisor",
+    "SweepSupervisor",
+    "capture_state",
+    "restore_state",
+    "sweep_worker_main",
+]

@@ -1,0 +1,136 @@
+"""Deterministic process-level fault injection.
+
+A chaos plan is a comma-separated schedule of faults against real worker
+processes, parsed from the ``--chaos`` CLI flag::
+
+    kill:shard1@epoch3      SIGKILL shard worker 1 right after the bus
+                            sends it its 3rd epoch grant
+    hang:shard0@epoch2      SIGSTOP shard worker 0 after its 2nd grant
+                            (the supervisor's heartbeat timeout detects it)
+    kill:worker0@task2      SIGKILL sweep pool worker 0 right after its
+                            2nd scenario dispatch
+    hang:worker1            SIGSTOP sweep pool worker 1 after its 1st
+                            dispatch (``@...`` defaults to 1)
+
+Indices are the runtime's own 0-based shard / pool-worker indices; trigger
+counts are 1-based ("the Nth grant/dispatch").  Each action fires exactly
+once, at a point keyed to the deterministic message schedule rather than to
+wall-clock, so a chaos run is as reproducible as the simulation itself --
+which is what lets CI assert the recovered transcript byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ChaosAction", "ChaosPlan"]
+
+#: ``kind:target index [@ counter count]``
+_ENTRY_RE = re.compile(
+    r"^(?P<kind>kill|hang):(?P<target>shard|worker)(?P<index>\d+)"
+    r"(?:@(?P<counter>epoch|task)(?P<at>\d+))?$"
+)
+
+#: The trigger-counter word each target type uses.
+_COUNTER_FOR = {"shard": "epoch", "worker": "task"}
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault against one worker process."""
+
+    kind: str  # "kill" (SIGKILL) or "hang" (SIGSTOP)
+    target: str  # "shard" (bus worker) or "worker" (sweep pool worker)
+    index: int  # 0-based shard / pool-worker index
+    at: int  # 1-based trigger count (epoch grants / task dispatches)
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.target}{self.index}@{_COUNTER_FOR[self.target]}{self.at}"
+
+    def apply(self, pid: int) -> None:
+        """Deliver the fault to the live process ``pid``.
+
+        ``kill`` is immediate and unblockable; ``hang`` stops the process
+        cold (it stops heartbeating but holds its pipes open), which is
+        exactly the failure mode a supervisor can only catch via timeout.
+        """
+        os.kill(pid, signal.SIGKILL if self.kind == "kill" else signal.SIGSTOP)
+
+
+class ChaosPlan:
+    """The pending fault schedule; actions are consumed as they fire."""
+
+    def __init__(self, actions: List[ChaosAction]) -> None:
+        self._pending: List[ChaosAction] = list(actions)
+        #: Actions already fired, in firing order (for reporting).
+        self.fired: List[ChaosAction] = []
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Parse a ``--chaos`` specification string."""
+        actions = []
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            match = _ENTRY_RE.match(token)
+            if match is None:
+                raise ConfigurationError(
+                    f"bad chaos entry {token!r}; expected "
+                    f"'kill|hang:shardI[@epochN]' or 'kill|hang:workerI[@taskN]'"
+                )
+            target = match.group("target")
+            counter = match.group("counter")
+            if counter is not None and counter != _COUNTER_FOR[target]:
+                raise ConfigurationError(
+                    f"bad chaos entry {token!r}: {target} targets count "
+                    f"{_COUNTER_FOR[target]}s, not {counter}s"
+                )
+            at = int(match.group("at")) if match.group("at") is not None else 1
+            if at < 1:
+                raise ConfigurationError(
+                    f"bad chaos entry {token!r}: trigger counts are 1-based"
+                )
+            actions.append(
+                ChaosAction(
+                    kind=match.group("kind"),
+                    target=target,
+                    index=int(match.group("index")),
+                    at=at,
+                )
+            )
+        if not actions:
+            raise ConfigurationError(f"empty chaos specification {spec!r}")
+        return cls(actions)
+
+    def take(self, target: str, index: int, count: int) -> Optional[ChaosAction]:
+        """Pop and return the pending action scheduled for the ``count``-th
+        trigger of ``target`` ``index``, or ``None``.  Each action fires once.
+        """
+        for position, action in enumerate(self._pending):
+            if action.target == target and action.index == index and action.at == count:
+                self.fired.append(self._pending.pop(position))
+                return self.fired[-1]
+        return None
+
+    def has(self, target: str, kind: Optional[str] = None) -> bool:
+        """Whether any pending action aims at ``target`` (and ``kind``)."""
+        return any(
+            action.target == target and (kind is None or action.kind == kind)
+            for action in self._pending
+        )
+
+    def pending(self) -> List[ChaosAction]:
+        return list(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChaosPlan({[a.describe() for a in self._pending]})"

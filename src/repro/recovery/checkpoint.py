@@ -1,0 +1,113 @@
+"""Snapshot serialization: capture and restore a runtime's full state.
+
+A checkpoint is a self-describing byte string::
+
+    REPRO-CKPT\\n{"meta":{...},"schema":1}\\n<pickle blob>
+
+The one-line JSON header carries the schema version and caller metadata
+(epoch index, shard index); the blob is a :mod:`pickle` of the live object
+graph.  Pickling captures *everything* transitively reachable -- the
+simulator's event heap with lineage keys (events hold bound-method
+callbacks into the nodes/apps, which pickle by reference into the same
+restored object graph), the per-node detector state including the
+neighborhood index's compact ``array`` buffers and score caches, the
+recording energy-meter folds, and every named ``random.Random`` stream --
+so ``restore_state(capture_state(x))`` is a deep copy frozen at a single
+instant.
+
+Why this is byte-exact across a process boundary: the only process-local
+state in the stack is the events' ``sequence`` tie-break counter, and in
+lineage mode (``Simulator(lineage=True)``, which every shard worker uses)
+the ``(gen, pkey, idx)`` lineage triple is unique per event, so the
+``sequence`` field is never reached by a comparison.  A restored worker
+therefore replays the exact event order of the original -- the invariant
+the recovery tests and the chaos-smoke CI job pin byte-for-byte.
+
+Capture is only legal *between* events: :class:`~repro.simulator.engine.
+Simulator` refuses to pickle while it is running or mid-event, because a
+half-fired callback is not reconstructible.  The shard worker captures at
+the epoch barrier, before draining its outbox, which is exactly such a
+quiescent point.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointPolicy",
+    "capture_state",
+    "restore_state",
+]
+
+#: Bumped whenever the snapshot layout changes incompatibly; restoring a
+#: snapshot written under a different schema raises instead of resurrecting
+#: a worker from bytes the current code misinterprets.
+CHECKPOINT_SCHEMA = 1
+
+_MAGIC = b"REPRO-CKPT"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where a worker snapshots itself.
+
+    ``every`` counts epoch barriers: the worker captures its state at every
+    ``every``-th barrier (epoch 0 -- the freshly built slice -- is never
+    captured, it is reconstructible from the scenario alone).
+    """
+
+    directory: str
+    every: int
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 1 epoch, got {self.every}"
+            )
+
+    def due(self, epoch: int) -> bool:
+        return epoch > 0 and epoch % self.every == 0
+
+
+def capture_state(state: Any, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialise ``state`` (any picklable object graph) into checkpoint bytes."""
+    header = json.dumps(
+        {"schema": CHECKPOINT_SCHEMA, "meta": dict(meta or {})},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    try:
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:
+        raise CheckpointError(f"state is not checkpointable: {error}") from error
+    return _MAGIC + b"\n" + header + b"\n" + blob
+
+
+def restore_state(payload: bytes) -> Tuple[Any, Dict[str, Any]]:
+    """Rebuild ``(state, meta)`` from checkpoint bytes."""
+    magic, _, rest = payload.partition(b"\n")
+    if magic != _MAGIC:
+        raise CheckpointError("not a repro checkpoint (bad magic)")
+    header_bytes, _, blob = rest.partition(b"\n")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise CheckpointError(f"unreadable checkpoint header: {error}") from error
+    schema = header.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {schema!r} is not supported "
+            f"(this code reads schema {CHECKPOINT_SCHEMA})"
+        )
+    try:
+        state = pickle.loads(blob)
+    except Exception as error:
+        raise CheckpointError(f"checkpoint blob failed to restore: {error}") from error
+    return state, header.get("meta", {})

@@ -1,0 +1,128 @@
+"""Durable, content-addressed checkpoint store.
+
+The checkpoint store is the recovery layer's durability primitive, built on
+the same idioms as the orchestrator's result store
+(:mod:`repro.orchestrator.store`): a flat directory of files whose names are
+the SHA-256 digest of their contents, written atomically (temp file +
+``fsync`` + ``os.replace``) so a worker killed mid-write can never leave a
+half-written snapshot under a final key.
+
+Content addressing buys two properties the supervisor relies on:
+
+* **self-verification** -- a read re-hashes the bytes and compares against
+  the key, so silent disk corruption is *detected* at restore time instead
+  of resurrecting a worker from garbage.  A corrupt snapshot is quarantined
+  to ``<key>.corrupt`` (with a log line) and the read raises
+  :class:`~repro.core.errors.CheckpointError`; the supervisor then falls
+  back to an older snapshot or a from-scratch replay.
+* **idempotent writes** -- re-capturing identical state (a replayed worker
+  passing through the same epoch) lands on the same key and is a no-op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+from pathlib import Path
+from typing import List, Union
+
+from ..core.errors import CheckpointError
+
+__all__ = ["CheckpointStore"]
+
+logger = logging.getLogger("repro.recovery")
+
+#: Extension of a durable snapshot file.
+_SUFFIX = ".ckpt"
+
+
+class CheckpointStore:
+    """A directory of content-addressed runtime snapshots."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        # Construction is cheap on purpose (workers rebuild one per process);
+        # the directory is created lazily on the first write.
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def put(self, payload: bytes) -> str:
+        """Durably persist ``payload`` and return its content key.
+
+        The bytes are flushed and fsynced *before* the atomic rename, so
+        once ``put`` returns the snapshot survives both a process kill and
+        a power cut -- the supervisor may promise a restarting worker this
+        snapshot exists.
+        """
+        key = hashlib.sha256(payload).hexdigest()
+        path = self.path_for(key)
+        if path.exists():
+            # Content-addressed: identical bytes are already durable.
+            return key
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return key
+
+    def get(self, key: str) -> bytes:
+        """The snapshot bytes under ``key``.
+
+        Raises :class:`CheckpointError` when the snapshot is missing or its
+        digest no longer matches the key (the corrupt file is quarantined
+        to ``<key>.corrupt`` rather than deleted, so disk faults stay
+        observable).
+        """
+        path = self.path_for(key)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(f"checkpoint {key} not found in {self.root}") from None
+        if hashlib.sha256(payload).hexdigest() != key:
+            quarantined = path.with_suffix(".corrupt")
+            os.replace(path, quarantined)
+            logger.warning(
+                "quarantined corrupt checkpoint %s -> %s", path, quarantined
+            )
+            raise CheckpointError(
+                f"checkpoint {key} failed digest verification "
+                f"(quarantined to {quarantined.name})"
+            )
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Keys of every snapshot currently on disk (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob(f"*{_SUFFIX}"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every snapshot; returns how many files were removed."""
+        removed = 0
+        for key in self.keys():
+            self.path_for(key).unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({str(self.root)!r}, snapshots={len(self)})"

@@ -1,0 +1,748 @@
+"""Supervision: crash/hang detection, restart-from-checkpoint, replay.
+
+Two supervisors share the :class:`RecoveryConfig` knobs:
+
+* :class:`ShardSupervisor` drives the sharded bus's lockstep epoch loop
+  (it *is* the bus's process manager).  It heartbeats workers through a
+  ``poll`` timeout, detects a crashed worker by pipe EOF and a hung one by
+  heartbeat silence, and restarts the dead worker from its latest
+  checkpoint with bounded exponential backoff.  Determinism makes the
+  replay protocol exact rather than best-effort: the supervisor journals
+  every epoch message ``(epoch index, grant, inbox)`` it has sent since the
+  worker's last announced checkpoint, and on restart it regenerates the
+  worker's position by discarding the barriers the merged run already
+  consumed while re-sending the journalled grants.  The restored worker
+  then produces byte-for-byte the messages the never-crashed worker would
+  have -- the merged transcript cannot tell a recovery happened.
+
+* :class:`SweepSupervisor` replaces the ``multiprocessing.Pool`` in the
+  sweep executor (a ``Pool`` deadlocks when a worker is SIGKILLed
+  mid-task).  It dispatches one scenario per worker at a time, applies a
+  per-scenario timeout, retries a failed scenario with backoff on another
+  incarnation, and quarantines a scenario that keeps failing as *poison*
+  -- recorded, never silently dropped.  Scenarios are pure functions of
+  their config, so a retried scenario lands the identical result bytes.
+
+Replay invariants (what makes recovery byte-exact):
+
+1. A worker checkpoints at the top of its barrier loop -- *before* peeking
+   its queue or draining its outbox -- so a restored worker regenerates the
+   exact barrier message the original sent after that capture.
+2. A worker that consumed ``e`` epoch grants is about to send barrier
+   ``e``; the supervisor has consumed barriers ``0..processed-1`` and sent
+   grants ``0..sent-1``, with ``processed ∈ {sent, sent+1}``.  After
+   restoring from the checkpoint taken at barrier ``c``, the supervisor
+   discards regenerated barriers ``c..processed-1`` (re-sending the
+   journalled grant after each one that has one) -- the next barrier the
+   worker produces is exactly the one the live loop is waiting for.
+3. Journalled inboxes are re-sent verbatim and replayed outboxes are
+   *not* re-routed (their crossings were already delivered), so no
+   crossing is ever duplicated or lost across a restart.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ExperimentError, SimulationError
+from .chaos import ChaosPlan
+from .checkpoint import CheckpointPolicy
+
+__all__ = [
+    "RecoveryConfig",
+    "ShardSupervisor",
+    "SweepSupervisor",
+    "sweep_worker_main",
+]
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the supervision-and-recovery layer.
+
+    Attributes
+    ----------
+    checkpoint_every:
+        Shard workers snapshot their runtime every this many bus epochs.
+    directory:
+        Checkpoint store directory; ``None`` uses a per-run temporary
+        directory (snapshots live exactly as long as the run needs them).
+    heartbeat_timeout:
+        Seconds of barrier silence after which a shard worker is declared
+        hung and killed.  ``None`` disables hang detection (crashes are
+        still caught via pipe EOF).
+    max_restarts:
+        Restart budget per shard worker; exceeding it fails the run.
+    backoff_base / backoff_cap:
+        Restart delay: ``min(cap, base * 2**(attempt-1))`` seconds.
+    scenario_timeout:
+        Sweep-side: seconds one scenario may run in a pool worker before
+        the worker is killed and the scenario retried.  ``None`` disables.
+    max_retries:
+        Sweep-side: how many times a failed scenario is retried before it
+        is quarantined as poison.
+    """
+
+    checkpoint_every: int = 16
+    directory: Optional[str] = None
+    heartbeat_timeout: Optional[float] = 600.0
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    scenario_timeout: Optional[float] = None
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout must be positive, got {self.heartbeat_timeout}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.scenario_timeout is not None and self.scenario_timeout <= 0:
+            raise ConfigurationError(
+                f"scenario_timeout must be positive, got {self.scenario_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Restart delay before the ``attempt``-th restart (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempt - 1)))
+
+
+class _WorkerDown(Exception):
+    """Internal: a worker process crashed or went silent (the message is the
+    human-readable reason)."""
+
+
+# ======================================================================
+# Shard supervision
+# ======================================================================
+class ShardSupervisor:
+    """Own the shard worker processes and drive the lockstep epoch loop.
+
+    With ``recovery=None`` this is behaviourally the plain bus of PR 8: a
+    dead worker fails the run with the worker's traceback.  With a
+    :class:`RecoveryConfig` the loop survives worker kills and hangs, and
+    with a :class:`~repro.recovery.chaos.ChaosPlan` it inflicts them --
+    deterministically, keyed on per-shard epoch-grant counts.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        dataset,
+        topology,
+        plan,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
+        worker_main=None,
+        lookahead: float = 1e-3,
+    ) -> None:
+        if worker_main is None:
+            from ..shard.runtime import shard_worker_main as worker_main
+        if chaos is not None and chaos.has("shard") and recovery is None:
+            raise ConfigurationError(
+                "chaos against shard workers requires recovery to be enabled"
+            )
+        if (
+            chaos is not None
+            and chaos.has("shard", "hang")
+            and (recovery is None or recovery.heartbeat_timeout is None)
+        ):
+            raise ConfigurationError(
+                "hang chaos needs a heartbeat_timeout to be detectable"
+            )
+        self.scenario = scenario
+        self.dataset = dataset
+        self.topology = topology
+        self.plan = plan
+        self.recovery = recovery
+        self.chaos = chaos
+        self.worker_main = worker_main
+        self.lookahead = lookahead
+
+        k = plan.shard_count
+        self.context = multiprocessing.get_context()
+        self.processes: List[Optional[multiprocessing.Process]] = [None] * k
+        self.connections: List[Optional[object]] = [None] * k
+        #: Epoch messages sent since each shard's last checkpoint:
+        #: ``(epoch index, grant, inbox)``.
+        self.journals: List[List[Tuple[int, float, list]]] = [[] for _ in range(k)]
+        #: Latest checkpoint announcement per shard (``None`` = none yet).
+        self.ckpt: List[Optional[dict]] = [None] * k
+        #: Barriers consumed / epoch grants sent per shard.
+        self.processed = [0] * k
+        self.sent = [0] * k
+        self.restart_counts = [0] * k
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._policy: Optional[CheckpointPolicy] = None
+        self.stats: Dict[str, object] = {
+            "enabled": recovery is not None,
+            "checkpoint_every": recovery.checkpoint_every if recovery else None,
+            "epochs": 0,
+            "checkpoints": [],
+            "restarts": [],
+            "chaos": [],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> List[dict]:
+        """Spawn the workers, drive the epoch loop, return the per-shard
+        finalisation payloads (in shard order)."""
+        try:
+            if self.recovery is not None:
+                directory = self.recovery.directory
+                if directory is None:
+                    self._tempdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+                    directory = self._tempdir.name
+                self._policy = CheckpointPolicy(
+                    directory=str(directory), every=self.recovery.checkpoint_every
+                )
+            for shard in range(self.plan.shard_count):
+                self._spawn(shard, resume_from=None)
+            return self._drive()
+        finally:
+            self._shutdown()
+
+    def _drive(self) -> List[dict]:
+        shard_count = self.plan.shard_count
+        inboxes: List[list] = [[] for _ in range(shard_count)]
+        owner = self.plan.owner_map()
+        clocks = [0.0] * shard_count
+        while True:
+            effective_next = [_INFINITY] * shard_count
+            for shard in range(shard_count):
+                next_time, now, outbox = self._barrier(shard)
+                clocks[shard] = now
+                if next_time is not None:
+                    effective_next[shard] = next_time
+                for record in outbox:
+                    inboxes[owner[record.dst]].append(record)
+            for shard in range(shard_count):
+                for record in inboxes[shard]:
+                    effective_next[shard] = min(
+                        effective_next[shard], record.deliver_time
+                    )
+            horizon = min(effective_next)
+            if horizon == _INFINITY:
+                break
+            grant = horizon + self.lookahead
+            self.stats["epochs"] += 1
+            for shard in range(shard_count):
+                self._send_epoch(shard, grant, inboxes[shard])
+                inboxes[shard] = []
+
+        duration = max(self.scenario.duration, max(clocks))
+        return [
+            self._request_result(shard, duration) for shard in range(shard_count)
+        ]
+
+    def _shutdown(self) -> None:
+        for conn in self.connections:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        for process in self.processes:
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                # ``kill`` (SIGKILL) also reaps a SIGSTOPped worker, which
+                # ``terminate`` (SIGTERM) cannot wake.
+                process.kill()
+                process.join()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+    def _spawn(self, shard: int, resume_from: Optional[str]) -> None:
+        parent_conn, child_conn = self.context.Pipe()
+        process = self.context.Process(
+            target=self.worker_main,
+            args=(
+                child_conn,
+                self.scenario,
+                self.dataset,
+                self.topology,
+                self.plan.members[shard],
+                self.plan.boundaries[shard],
+                self._policy,
+                resume_from,
+            ),
+            name=f"repro-shard-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        self.connections[shard] = parent_conn
+        self.processes[shard] = process
+
+    def _reap(self, shard: int) -> None:
+        process = self.processes[shard]
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join()
+        conn = self.connections[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self.processes[shard] = None
+        self.connections[shard] = None
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def _recv(self, shard: int) -> tuple:
+        """One message from a worker, or :class:`_WorkerDown`."""
+        conn = self.connections[shard]
+        process = self.processes[shard]
+        timeout = self.recovery.heartbeat_timeout if self.recovery else None
+        if timeout is not None and not conn.poll(timeout):
+            raise _WorkerDown(
+                f"went silent (no heartbeat for {timeout:g}s; killed as hung)"
+            )
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            raise _WorkerDown(
+                f"exited unexpectedly (exit code {process.exitcode})"
+            ) from None
+        if message[0] == "error":
+            # A worker-side exception is deterministic -- restarting would
+            # only replay it -- so it is fatal regardless of recovery.
+            raise SimulationError(
+                f"shard worker {process.name} failed:\n{message[1]}"
+            )
+        return message
+
+    def _send(self, shard: int, message: tuple) -> None:
+        try:
+            self.connections[shard].send(message)
+        except (BrokenPipeError, OSError):
+            process = self.processes[shard]
+            raise _WorkerDown(
+                f"exited unexpectedly (exit code {process.exitcode})"
+            ) from None
+
+    def _barrier(self, shard: int) -> Tuple[Optional[float], float, list]:
+        """The next live barrier from ``shard``, recovering as needed."""
+        while True:
+            try:
+                message = self._recv(shard)
+            except _WorkerDown as down:
+                self._recover(shard, str(down))
+                continue
+            kind, next_time, now, outbox, ckpt = message
+            if kind != "barrier":  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected worker message {kind!r}")
+            self._note_checkpoint(shard, ckpt)
+            self.processed[shard] += 1
+            return next_time, now, outbox
+
+    def _send_epoch(self, shard: int, grant: float, inbox: list) -> None:
+        # Journal first: once the supervisor decides to send a grant it is
+        # committed -- a crash during the send is recovered by replaying
+        # the journal, which now includes this grant.
+        self.journals[shard].append((self.sent[shard], grant, inbox))
+        self.sent[shard] += 1
+        try:
+            self._send(shard, ("epoch", grant, inbox))
+        except _WorkerDown as down:
+            # The replay inside ``_recover`` re-sends every journalled
+            # grant up to ``sent``, including this one.
+            self._recover(shard, str(down))
+        self._fire_chaos(shard)
+
+    def _request_result(self, shard: int, duration: float) -> dict:
+        while True:
+            try:
+                self._send(shard, ("finalize", duration))
+                message = self._recv(shard)
+            except _WorkerDown as down:
+                self._recover(shard, str(down))
+                continue
+            kind, payload = message
+            if kind != "result":  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected worker message {kind!r}")
+            return payload
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _note_checkpoint(self, shard: int, ckpt: Optional[dict]) -> None:
+        if ckpt is None:
+            return
+        self.ckpt[shard] = ckpt
+        epoch = ckpt["epoch"]
+        # Grants before the checkpointed barrier can never need replaying.
+        self.journals[shard] = [
+            entry for entry in self.journals[shard] if entry[0] >= epoch
+        ]
+        self.stats["checkpoints"].append(
+            {
+                "shard": shard,
+                "epoch": epoch,
+                "key": ckpt["key"],
+                "write_seconds": ckpt["write_seconds"],
+                "bytes": ckpt["bytes"],
+            }
+        )
+
+    def _fire_chaos(self, shard: int) -> None:
+        if self.chaos is None:
+            return
+        action = self.chaos.take("shard", shard, self.sent[shard])
+        if action is None:
+            return
+        process = self.processes[shard]
+        if process is not None and process.pid is not None:
+            action.apply(process.pid)
+            self.stats["chaos"].append(action.describe())
+
+    def _recover(self, shard: int, reason: str) -> None:
+        """Restart ``shard`` from its last checkpoint and replay it back to
+        parity with the live loop."""
+        process_name = f"repro-shard-{shard}"
+        if self.recovery is None:
+            raise SimulationError(f"shard worker {process_name} {reason}")
+        while True:
+            self.restart_counts[shard] += 1
+            attempt = self.restart_counts[shard]
+            if attempt > self.recovery.max_restarts:
+                raise SimulationError(
+                    f"shard worker {process_name} {reason}; restart budget "
+                    f"exhausted ({self.recovery.max_restarts} restarts)"
+                )
+            downtime_started = time.perf_counter()
+            self._reap(shard)
+            delay = self.recovery.backoff(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            checkpoint = self.ckpt[shard]
+            resume_epoch = checkpoint["epoch"] if checkpoint is not None else 0
+            self._spawn(
+                shard,
+                resume_from=checkpoint["key"] if checkpoint is not None else None,
+            )
+            try:
+                # Regenerate the barriers the merged run already consumed:
+                # the restored worker is about to send barrier
+                # ``resume_epoch``; barriers ``resume_epoch..processed-1``
+                # are duplicates of consumed ones (their outboxes were
+                # already routed -- discard, never re-route), and each one
+                # with a journalled grant gets that grant re-sent verbatim.
+                replayed = 0
+                for number in range(resume_epoch, self.processed[shard]):
+                    message = self._recv(shard)
+                    if message[0] != "barrier":  # pragma: no cover - defensive
+                        raise SimulationError(
+                            f"unexpected worker message {message[0]!r} during replay"
+                        )
+                    self._note_checkpoint(shard, message[4])
+                    entry = next(
+                        (e for e in self.journals[shard] if e[0] == number), None
+                    )
+                    if entry is not None:
+                        self._send(shard, ("epoch", entry[1], entry[2]))
+                    replayed += 1
+            except _WorkerDown as again:
+                reason = str(again)
+                continue
+            self.stats["restarts"].append(
+                {
+                    "shard": shard,
+                    "reason": reason,
+                    "attempt": attempt,
+                    "resumed_from_epoch": resume_epoch,
+                    "replayed_epochs": replayed,
+                    "downtime_seconds": time.perf_counter() - downtime_started,
+                }
+            )
+            return
+
+
+# ======================================================================
+# Sweep supervision
+# ======================================================================
+def sweep_worker_main(conn, task) -> None:
+    """Entry point of one supervised sweep worker process.
+
+    Protocol: supervisor sends ``("task", tag, scenario)`` or ``("stop",)``;
+    the worker answers ``("result", tag, result)`` or
+    ``("error", tag, formatted_traceback)``.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "task":
+                _, tag, scenario = message
+                try:
+                    result = task(scenario)
+                except BaseException:
+                    conn.send(("error", tag, traceback.format_exc()))
+                else:
+                    conn.send(("result", tag, result))
+            elif message[0] == "stop":
+                return
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class SweepSupervisor:
+    """A chaos-tolerant replacement for the sweep executor's process pool.
+
+    One scenario is dispatched per worker at a time; a worker that crashes,
+    hangs past ``scenario_timeout``, or raises hands its scenario back for
+    a retry (with backoff) until ``max_retries`` is exhausted, after which
+    the scenario is quarantined in :attr:`poisoned`.  Results are yielded
+    in *completion* order -- the caller keys by scenario.
+    """
+
+    def __init__(
+        self,
+        task,
+        workers: int,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
+    ) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        self.task = task
+        self.workers = workers
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
+        self.chaos = chaos
+        if (
+            chaos is not None
+            and chaos.has("worker", "hang")
+            and self.recovery.scenario_timeout is None
+        ):
+            raise ConfigurationError(
+                "hang chaos needs a scenario_timeout to be detectable"
+            )
+        self.context = multiprocessing.get_context()
+        self.processes: List[Optional[multiprocessing.Process]] = [None] * workers
+        self.connections: List[Optional[object]] = [None] * workers
+        #: ``(scenario index, scenario, deadline)`` per busy worker.
+        self.busy: List[Optional[Tuple[int, object, float]]] = [None] * workers
+        self.dispatch_counts = [0] * workers
+        self.restart_counts = [0] * workers
+        #: Quarantined scenarios: ``{"scenario", "reason", "attempts"}``.
+        self.poisoned: List[dict] = []
+        self.stats: Dict[str, object] = {"restarts": 0, "retries": 0, "chaos": []}
+
+    # ------------------------------------------------------------------
+    def run(self, scenarios) -> Iterator[Tuple[object, object]]:
+        """Yield ``(scenario, result)`` pairs in completion order."""
+        pending = deque(enumerate(scenarios))
+        attempts: Dict[int, int] = {}
+        try:
+            while pending or any(slot is not None for slot in self.busy):
+                self._dispatch(pending, attempts)
+                yield from self._collect(pending, attempts)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        for worker, conn in enumerate(self.connections):
+            if conn is None:
+                continue
+            if self.busy[worker] is None:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker, process in enumerate(self.processes):
+            if process is None:
+                continue
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+            self.processes[worker] = None
+        for worker, conn in enumerate(self.connections):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                self.connections[worker] = None
+
+    # ------------------------------------------------------------------
+    def _spawn(self, worker: int) -> None:
+        if self.restart_counts[worker]:
+            delay = self.recovery.backoff(self.restart_counts[worker])
+            if delay > 0:
+                time.sleep(delay)
+        parent_conn, child_conn = self.context.Pipe()
+        process = self.context.Process(
+            target=sweep_worker_main,
+            args=(child_conn, self.task),
+            name=f"repro-sweep-{worker}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.processes[worker] = process
+        self.connections[worker] = parent_conn
+
+    def _dispatch(self, pending, attempts: Dict[int, int]) -> None:
+        for worker in range(self.workers):
+            if not pending or self.busy[worker] is not None:
+                continue
+            process = self.processes[worker]
+            if process is None or not process.is_alive():
+                self._spawn(worker)
+            index, scenario = pending.popleft()
+            self.dispatch_counts[worker] += 1
+            deadline = (
+                time.monotonic() + self.recovery.scenario_timeout
+                if self.recovery.scenario_timeout is not None
+                else _INFINITY
+            )
+            try:
+                self.connections[worker].send(("task", index, scenario))
+            except (BrokenPipeError, OSError):
+                self.busy[worker] = (index, scenario, deadline)
+                self._fail(
+                    worker,
+                    pending,
+                    attempts,
+                    "worker pipe closed before dispatch",
+                )
+                continue
+            self.busy[worker] = (index, scenario, deadline)
+            self._fire_chaos(worker)
+
+    def _collect(self, pending, attempts: Dict[int, int]):
+        live = {
+            self.connections[worker]: worker
+            for worker in range(self.workers)
+            if self.busy[worker] is not None and self.connections[worker] is not None
+        }
+        if not live:
+            return
+        nearest = min(slot[2] for slot in self.busy if slot is not None)
+        timeout = None if nearest == _INFINITY else max(0.0, nearest - time.monotonic())
+        ready = _connection_wait(list(live), timeout)
+        if not ready:
+            now = time.monotonic()
+            for worker in range(self.workers):
+                slot = self.busy[worker]
+                if slot is not None and slot[2] <= now:
+                    self._fail(
+                        worker,
+                        pending,
+                        attempts,
+                        f"scenario exceeded the {self.recovery.scenario_timeout:g}s "
+                        f"timeout (worker killed)",
+                    )
+            return
+        for conn in ready:
+            worker = live[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                process = self.processes[worker]
+                self._fail(
+                    worker,
+                    pending,
+                    attempts,
+                    f"worker exited unexpectedly (exit code {process.exitcode})",
+                )
+                continue
+            kind, tag, payload = message
+            index, scenario, _ = self.busy[worker]
+            assert tag == index, (tag, index)
+            self.busy[worker] = None
+            if kind == "result":
+                yield scenario, payload
+            else:  # "error": the task raised -- worker itself is fine
+                self._retry_or_poison(
+                    index, scenario, pending, attempts,
+                    f"scenario raised:\n{payload}",
+                )
+
+    def _fail(self, worker: int, pending, attempts: Dict[int, int], reason: str) -> None:
+        """A worker died or hung while running a scenario: reap it and put
+        the scenario back (or quarantine it)."""
+        index, scenario, _ = self.busy[worker]
+        self.busy[worker] = None
+        process = self.processes[worker]
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join()
+        conn = self.connections[worker]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self.processes[worker] = None
+        self.connections[worker] = None
+        self.restart_counts[worker] += 1
+        self.stats["restarts"] = int(self.stats["restarts"]) + 1
+        self._retry_or_poison(index, scenario, pending, attempts, reason)
+
+    def _retry_or_poison(
+        self, index: int, scenario, pending, attempts: Dict[int, int], reason: str
+    ) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] > self.recovery.max_retries:
+            self.poisoned.append(
+                {
+                    "scenario": scenario,
+                    "reason": reason,
+                    "attempts": attempts[index],
+                }
+            )
+        else:
+            self.stats["retries"] = int(self.stats["retries"]) + 1
+            pending.appendleft((index, scenario))
+
+    def _fire_chaos(self, worker: int) -> None:
+        if self.chaos is None:
+            return
+        action = self.chaos.take("worker", worker, self.dispatch_counts[worker])
+        if action is None:
+            return
+        process = self.processes[worker]
+        if process is not None and process.pid is not None:
+            action.apply(process.pid)
+            self.stats["chaos"].append(action.describe())

@@ -25,26 +25,33 @@ serialises byte-identically to the single-process transcript.  Two scenario
 knobs are incompatible with sharding and rejected up front: channel loss
 (i.i.d. or burst) draws from shared streams in global transmission order,
 which no per-shard execution can replay.
+
+The epoch loop itself lives in
+:class:`~repro.recovery.supervisor.ShardSupervisor`, which also owns the
+worker processes: with recovery enabled it heartbeats them, restarts a
+crashed or hung worker from its latest checkpoint and replays it back to
+parity -- without recovery it degrades to the plain fail-fast loop.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..analysis.accuracy import compare_estimates, normalise
-from ..core.errors import ConfigurationError, SimulationError
+from ..core.errors import ConfigurationError
 from ..datasets.loader import build_intel_lab_dataset
 from ..datasets.streams import SensorDataset
 from ..network.channel import ChannelStatistics
 from ..network.stats import EnergyReport
 from ..network.topology import Topology
+from ..recovery.chaos import ChaosPlan
+from ..recovery.supervisor import RecoveryConfig, ShardSupervisor
 from ..wsn.results import SimulationResult
 from ..wsn.runner import final_references
 from ..wsn.scenario import ScenarioConfig
-from .partition import ShardPlan, partition_topology
-from .runtime import CrossingRecord, shard_worker_main
+from .partition import partition_topology
+from .runtime import shard_worker_main
 
 __all__ = ["run_sharded_scenario", "LOOKAHEAD_SECONDS"]
 
@@ -53,8 +60,6 @@ __all__ = ["run_sharded_scenario", "LOOKAHEAD_SECONDS"]
 #: least ``airtime + LOOKAHEAD_SECONDS`` after the event that caused it,
 #: so granting ``E_min + LOOKAHEAD_SECONDS`` (exclusive) is always causal.
 LOOKAHEAD_SECONDS = 1e-3
-
-_INFINITY = float("inf")
 
 
 def _validate(scenario: ScenarioConfig, shards: int) -> None:
@@ -79,15 +84,32 @@ def run_sharded_scenario(
     dataset: Optional[SensorDataset] = None,
     shards: int = 2,
     mode: str = "hop-interleaved",
+    *,
+    recovery: Optional[RecoveryConfig] = None,
+    chaos: Optional[ChaosPlan] = None,
+    recovery_stats: Optional[dict] = None,
 ) -> SimulationResult:
     """Run one scenario partitioned across ``shards`` worker processes.
 
     The result is byte-identical (``SimulationResult.canonical_json``) to
     ``run_scenario(scenario)`` -- the sharded-equivalence test suite pins
     this on golden scenarios for every algorithm, metric and fault setting.
+
+    With a :class:`~repro.recovery.supervisor.RecoveryConfig` the workers
+    checkpoint periodically and the bus survives worker crashes and hangs
+    by restarting from the last checkpoint and replaying -- the merged
+    result stays byte-identical (pinned by the recovery test suite and the
+    chaos-smoke CI job).  A :class:`~repro.recovery.chaos.ChaosPlan`
+    deterministically inflicts such faults; shard-targeted chaos implies a
+    default recovery config when none is given.  ``recovery_stats``, if
+    provided, is filled in place with the supervisor's checkpoint/restart/
+    chaos report -- deliberately out-of-band so that recovery knobs can
+    never perturb the result bytes or the result-store cache key.
     """
     started = time.perf_counter()
     _validate(scenario, shards)
+    if chaos is not None and chaos.has("shard") and recovery is None:
+        recovery = RecoveryConfig()
     data = dataset or build_intel_lab_dataset(scenario.dataset_config())
     topology = Topology.from_positions(
         data.positions, transmission_range=scenario.transmission_range
@@ -95,7 +117,23 @@ def run_sharded_scenario(
     topology.require_connected()
     plan = partition_topology(topology, scenario.sink_id, shards, mode=mode)
 
-    payloads = _run_workers(scenario, data, topology, plan)
+    supervisor = ShardSupervisor(
+        scenario,
+        data,
+        topology,
+        plan,
+        recovery=recovery,
+        chaos=chaos,
+        worker_main=shard_worker_main,
+        lookahead=LOOKAHEAD_SECONDS,
+    )
+    payloads = supervisor.run()
+    if recovery_stats is not None:
+        recovery_stats.update(supervisor.stats)
+        if chaos is not None:
+            recovery_stats["chaos_pending"] = [
+                action.describe() for action in chaos.pending()
+            ]
 
     # ------------------------------------------------------------------
     # Merge the shard slices into one result (same order of operations as
@@ -145,96 +183,3 @@ def run_sharded_scenario(
     )
 
 
-def _run_workers(
-    scenario: ScenarioConfig,
-    data: SensorDataset,
-    topology: Topology,
-    plan: ShardPlan,
-) -> List[dict]:
-    """Spawn one worker per shard and drive the epoch loop to completion."""
-    context = multiprocessing.get_context()
-    connections = []
-    processes = []
-    try:
-        for shard, members in enumerate(plan.members):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=shard_worker_main,
-                args=(
-                    child_conn,
-                    scenario,
-                    data,
-                    topology,
-                    members,
-                    plan.boundaries[shard],
-                ),
-                name=f"repro-shard-{shard}",
-            )
-            process.start()
-            child_conn.close()
-            connections.append(parent_conn)
-            processes.append(process)
-
-        shard_count = plan.shard_count
-        inboxes: List[List[CrossingRecord]] = [[] for _ in range(shard_count)]
-        owner = plan.owner_map()
-        clocks = [0.0] * shard_count
-        while True:
-            effective_next = [_INFINITY] * shard_count
-            for shard, conn in enumerate(connections):
-                kind, *body = _receive(conn, processes[shard])
-                if kind != "barrier":  # pragma: no cover - defensive
-                    raise SimulationError(f"unexpected worker message {kind!r}")
-                next_time, now, outbox = body
-                clocks[shard] = now
-                if next_time is not None:
-                    effective_next[shard] = next_time
-                for record in outbox:
-                    inboxes[owner[record.dst]].append(record)
-            for shard in range(shard_count):
-                for record in inboxes[shard]:
-                    effective_next[shard] = min(
-                        effective_next[shard], record.deliver_time
-                    )
-            horizon = min(effective_next)
-            if horizon == _INFINITY:
-                break
-            grant = horizon + LOOKAHEAD_SECONDS
-            for shard, conn in enumerate(connections):
-                conn.send(("epoch", grant, inboxes[shard]))
-                inboxes[shard] = []
-
-        duration = max(scenario.duration, max(clocks))
-        payloads: List[Optional[dict]] = [None] * shard_count
-        for shard, conn in enumerate(connections):
-            conn.send(("finalize", duration))
-            kind, payload = _receive(conn, processes[shard])
-            if kind != "result":  # pragma: no cover - defensive
-                raise SimulationError(f"unexpected worker message {kind!r}")
-            payloads[shard] = payload
-        return payloads
-    finally:
-        for conn in connections:
-            conn.close()
-        for process in processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join()
-
-
-def _receive(conn, process) -> tuple:
-    """One message from a worker; turns worker errors and dead workers into
-    :class:`SimulationError` with the worker's traceback attached."""
-    try:
-        message = conn.recv()
-    except EOFError:
-        raise SimulationError(
-            f"shard worker {process.name} exited unexpectedly "
-            f"(exit code {process.exitcode})"
-        ) from None
-    if message[0] == "error":
-        raise SimulationError(
-            f"shard worker {process.name} failed:\n{message[1]}"
-        )
-    return message

@@ -29,20 +29,26 @@ behave exactly like its cut-out of the single-process run:
   counts the real transition.
 
 The worker protocol (:func:`shard_worker_main`) is a lockstep epoch loop:
-report ``(next event time, clock, outbox)`` at the barrier, receive either
-an epoch grant ``(time, inbox)`` -- inject the inbox in the canonical order
-and :meth:`~repro.simulator.engine.Simulator.run_exclusive` to the grant --
-or a finalisation request, after which the shard's slice of the result
-material is shipped back.
+report ``(next event time, clock, outbox, checkpoint info)`` at the
+barrier, receive either an epoch grant ``(time, inbox)`` -- inject the
+inbox in the canonical order and
+:meth:`~repro.simulator.engine.Simulator.run_exclusive` to the grant -- or
+a finalisation request, after which the shard's slice of the result
+material is shipped back.  Under a checkpoint policy the worker snapshots
+its whole slice at configured barriers and can be respawned from such a
+snapshot (see :mod:`repro.recovery`).
 """
 
 from __future__ import annotations
 
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.errors import SimulationError
+from ..recovery.checkpoint import CheckpointPolicy, capture_state, restore_state
+from ..recovery.store import CheckpointStore
 from ..network.channel import WirelessChannel
 from ..network.energy import EnergyMeter
 from ..network.packet import Packet
@@ -60,11 +66,36 @@ __all__ = [
     "RecordingEnergyMeter",
     "ShardChannel",
     "ShardFaultRuntime",
+    "SimulatorLineageClock",
     "shard_worker_main",
 ]
 
 _TX = 0
 _RX = 1
+
+
+class _NullClock:
+    """Stamp for a recording meter used outside a simulator (tests)."""
+
+    def __call__(self) -> Tuple[float, Tuple]:
+        return (0.0, ())
+
+
+class SimulatorLineageClock:
+    """Stamp charges with the simulator clock and the executing event's
+    lineage key.
+
+    A plain class (not a closure) on purpose: checkpointing a shard slice
+    pickles every meter, and this reference re-binds to the *restored*
+    simulator inside the same object graph -- a lambda would make the whole
+    slice unpicklable.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+
+    def __call__(self) -> Tuple[float, Tuple]:
+        return (self.simulator.now, self.simulator.current_lineage_key)
 
 
 @dataclass(frozen=True)
@@ -118,7 +149,7 @@ class RecordingEnergyMeter(EnergyMeter):
 
     def __init__(self, model=None, clock=None) -> None:
         super().__init__(model=model if model is not None else EnergyMeter().model)
-        self._clock = clock or (lambda: (0.0, ()))
+        self._clock = clock if clock is not None else _NullClock()
         self._charges: List[Tuple[float, Tuple, int, int]] = []
 
     def _stamp(self) -> Tuple[float, Tuple]:
@@ -218,9 +249,7 @@ class ShardChannel(WirelessChannel):
         # node constructor attaches immediately after creating the meter).
         node.energy = RecordingEnergyMeter(
             model=node.energy.model,
-            clock=lambda: (
-                self.simulator.now, self.simulator.current_lineage_key
-            ),
+            clock=SimulatorLineageClock(self.simulator),
         )
 
     def drain_outbox(self) -> List[CrossingRecord]:
@@ -452,27 +481,66 @@ def shard_worker_main(
     topology: Topology,
     local_ids: Tuple[int, ...],
     boundary_ids: FrozenSet[int],
+    checkpoint: Optional[CheckpointPolicy] = None,
+    resume_from: Optional[str] = None,
 ) -> None:
     """Entry point of one shard worker process.
 
     Protocol (all messages are tuples, kind first):
 
-    * worker -> bus: ``("barrier", next_event_time | None, now, outbox)``
+    * worker -> bus: ``("barrier", next_event_time | None, now, outbox,
+      checkpoint_info | None)``
     * bus -> worker: ``("epoch", grant_time, inbox)`` or
       ``("finalize", duration)``
     * worker -> bus: ``("result", payload)`` (after finalize), or
       ``("error", formatted_traceback)`` on any failure.
+
+    With a :class:`~repro.recovery.checkpoint.CheckpointPolicy` the worker
+    snapshots its whole slice at every ``checkpoint.every``-th barrier --
+    *before* peeking the queue or draining the outbox, so a worker restored
+    from that snapshot (``resume_from`` names the snapshot key; ``None``
+    rebuilds from the scenario, i.e. barrier 0) regenerates the exact
+    barrier message the original sent right after capturing.  The barrier's
+    ``checkpoint_info`` announces ``{"epoch", "key", "bytes",
+    "write_seconds"}`` so the supervisor can truncate its replay journal.
     """
     try:
-        slice_ = _build_slice(scenario, dataset, topology, local_ids, boundary_ids)
+        store = (
+            CheckpointStore(checkpoint.directory) if checkpoint is not None else None
+        )
+        if resume_from is not None:
+            slice_, meta = restore_state(store.get(resume_from))
+            epoch = int(meta["epoch"])
+            skip_capture_epoch: Optional[int] = epoch
+        else:
+            slice_ = _build_slice(
+                scenario, dataset, topology, local_ids, boundary_ids
+            )
+            epoch = 0
+            skip_capture_epoch = None
         simulator, channel = slice_.simulator, slice_.channel
         while True:
+            checkpoint_info = None
+            if (
+                checkpoint is not None
+                and checkpoint.due(epoch)
+                and epoch != skip_capture_epoch
+            ):
+                started = time.perf_counter()
+                payload = capture_state(slice_, meta={"epoch": epoch})
+                checkpoint_info = {
+                    "epoch": epoch,
+                    "key": store.put(payload),
+                    "bytes": len(payload),
+                    "write_seconds": time.perf_counter() - started,
+                }
             conn.send(
                 (
                     "barrier",
                     simulator.peek_time(),
                     simulator.now,
                     channel.drain_outbox(),
+                    checkpoint_info,
                 )
             )
             message = conn.recv()
@@ -481,6 +549,7 @@ def shard_worker_main(
                 for record in sorted(inbox, key=lambda r: r.sort_key):
                     channel.inject(record)
                 simulator.run_exclusive(grant)
+                epoch += 1
             elif message[0] == "finalize":
                 conn.send(("result", _finalize(slice_, message[1])))
                 return

@@ -312,6 +312,25 @@ class Simulator:
             self._running = False
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support for runtime checkpoints (see :mod:`repro.recovery`).
+
+        Capture is only legal *between* events: a half-executed callback is
+        not reconstructible, so pickling a running simulator is refused
+        rather than silently snapshotting an inconsistent instant.  The
+        event heap pickles as-is -- a heap's list layout is itself valid
+        heap order, so restoring needs no re-heapify.
+        """
+        if self._running or self._current is not None:
+            raise SimulationError(
+                "cannot checkpoint a running simulator; capture only at a "
+                "quiescent point between events"
+            )
+        return dict(self.__dict__)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set
 
 from ..analysis.accuracy import compare_estimates, normalise
 from ..core.config import Algorithm
+from ..core.errors import ConfigurationError
 from ..core.points import DataPoint
 from ..core.reference import semi_global_reference_all
 from ..datasets.loader import build_intel_lab_dataset
@@ -29,6 +30,7 @@ __all__ = [
     "run_scenario_worker",
     "run_repetitions",
     "schedule_workload",
+    "collect_result",
     "final_references",
 ]
 
@@ -112,6 +114,10 @@ def run_scenario(
     dataset: Optional[SensorDataset] = None,
     shards: Optional[int] = None,
     shard_mode: str = "hop-interleaved",
+    *,
+    recovery=None,
+    chaos=None,
+    recovery_stats: Optional[dict] = None,
 ) -> SimulationResult:
     """Run one complete simulation and return its results.
 
@@ -133,19 +139,55 @@ def run_scenario(
     shard_mode:
         Partition placement (``"hop-interleaved"`` or ``"band"``); see
         :func:`repro.shard.partition.partition_topology`.
+    recovery / chaos / recovery_stats:
+        Fault-tolerance knobs of the sharded path (see
+        :mod:`repro.recovery`): a
+        :class:`~repro.recovery.supervisor.RecoveryConfig` enables
+        checkpoint/restart supervision, a
+        :class:`~repro.recovery.chaos.ChaosPlan` injects deterministic
+        process faults, and ``recovery_stats`` (a dict, filled in place)
+        receives the supervisor's out-of-band report.  Like ``shards``
+        these are execution knobs -- they never change the result bytes.
     """
     if shards is not None:
         # Imported lazily: repro.shard imports this module's helpers.
         from ..shard.bus import run_sharded_scenario
 
         return run_sharded_scenario(
-            scenario, dataset, shards=shards, mode=shard_mode
+            scenario,
+            dataset,
+            shards=shards,
+            mode=shard_mode,
+            recovery=recovery,
+            chaos=chaos,
+            recovery_stats=recovery_stats,
+        )
+    if recovery is not None or chaos is not None:
+        raise ConfigurationError(
+            "recovery and chaos apply to sharded execution; pass shards=k"
         )
     started = time.perf_counter()
     data = dataset or build_intel_lab_dataset(scenario.dataset_config())
     deployment = build_deployment(scenario, data)
     schedule_workload(deployment)
     deployment.simulator.run()
+    return collect_result(deployment, started=started)
+
+
+def collect_result(
+    deployment: Deployment, started: Optional[float] = None
+) -> SimulationResult:
+    """Finalise a fully-run deployment into a :class:`SimulationResult`.
+
+    Factored out of :func:`run_scenario` so that a deployment *restored
+    from a checkpoint* and run to completion can be finalised through the
+    identical code path -- the recovery round-trip property tests pin that
+    ``collect_result(restore(capture(d)))`` serialises byte-identically to
+    the uninterrupted run.  ``started`` is a ``time.perf_counter`` origin
+    for the (non-canonical) wallclock field.
+    """
+    scenario = deployment.scenario
+    data = deployment.dataset
 
     # Idle-energy accounting over the full observation interval.  Every
     # algorithm is charged over the same duration so idle energy never skews
@@ -197,12 +239,17 @@ def run_scenario(
         protocol_stats=protocol_stats,
         fault_stats=fault_stats,
         events_executed=deployment.simulator.events_executed,
-        wallclock_seconds=time.perf_counter() - started,
+        wallclock_seconds=(
+            time.perf_counter() - started if started is not None else 0.0
+        ),
     )
 
 
 def run_scenario_worker(
-    scenario: ScenarioConfig, shards: Optional[int] = None
+    scenario: ScenarioConfig,
+    shards: Optional[int] = None,
+    recovery=None,
+    chaos=None,
 ) -> SimulationResult:
     """Pool entry point used by the sweep executor.
 
@@ -211,9 +258,17 @@ def run_scenario_worker(
     which pickles fine too).  A scenario is a pure function of its
     configuration (the seed drives every random stream), so running it in a
     worker process -- or partitioned across shard processes -- yields the
-    same result as running it inline.
+    same result as running it inline.  ``recovery``/``chaos`` are forwarded
+    into sharded execution (the executor's inline ``shards`` path); chaos
+    ``worker`` actions are not this function's business and are ignored
+    here by the sharded bus, which only consumes ``shard`` actions.
     """
-    return run_scenario(scenario, shards=shards)
+    return run_scenario(
+        scenario,
+        shards=shards,
+        recovery=recovery if shards is not None else None,
+        chaos=chaos if shards is not None else None,
+    )
 
 
 def run_repetitions(

@@ -1,0 +1,524 @@
+"""Fault-tolerant execution (``repro.recovery``).
+
+Three layers under test, mirroring the module structure:
+
+* **serialization** -- checkpoint capture/restore is a loss-free deep copy:
+  a deployment frozen mid-run and resumed finishes with a transcript
+  byte-identical (``SimulationResult.canonical_json``) to the uninterrupted
+  run, across every registered metric space (hypothesis drives the cut
+  point).  The content-addressed :class:`CheckpointStore` detects silent
+  corruption and quarantines it aside.
+* **supervision** -- a sharded run that loses a worker to an injected
+  SIGKILL/SIGSTOP restarts it from the last snapshot, replays the journal,
+  and still produces the byte-identical transcript; a supervised sweep that
+  loses a pool worker retries and completes with an identical store, and a
+  deterministically crashing scenario is quarantined as poison instead of
+  wedging the sweep.
+* **chaos plans** -- the ``--chaos`` mini-language parses deterministically,
+  fires each action exactly once, and is rejected up front when the
+  supervisor cannot possibly detect the injected fault (hang without a
+  timeout) or recover from it (shard chaos without recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Dict, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Algorithm, DetectionConfig
+from repro.core.errors import (
+    CheckpointError,
+    ConfigurationError,
+    ExperimentError,
+    SimulationError,
+)
+from repro.datasets.loader import build_intel_lab_dataset
+from repro.experiments.sweeps import METRIC_VARIANTS
+from repro.orchestrator import executor
+from repro.orchestrator.executor import clear_memory, run_scenarios
+from repro.orchestrator.store import ResultStore
+from repro.recovery import (
+    ChaosPlan,
+    CheckpointPolicy,
+    CheckpointStore,
+    RecoveryConfig,
+    capture_state,
+    restore_state,
+)
+from repro.simulator.engine import Simulator
+from repro.wsn.deployment import build_deployment
+from repro.wsn.results import SimulationResult
+from repro.wsn.runner import collect_result, run_scenario, schedule_workload
+from repro.wsn.scenario import ScenarioConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory():
+    clear_memory()
+    yield
+    clear_memory()
+
+
+def metric_scenario(metric: str, metric_params) -> ScenarioConfig:
+    """A small 4-d scenario exercising one registered metric space."""
+    return ScenarioConfig(
+        detection=DetectionConfig(
+            algorithm=Algorithm.SEMI_GLOBAL, ranking="nn", n_outliers=4,
+            k=4, window_length=2, hop_diameter=2, metric=metric,
+            metric_params=metric_params,
+        ),
+        node_count=12,
+        rounds=2,
+        extra_channels=1,
+        seed=0,
+    )
+
+
+def shard_scenario(seed: int = 0) -> ScenarioConfig:
+    """Small but epoch-rich: enough barriers for mid-run chaos triggers."""
+    return ScenarioConfig(
+        detection=DetectionConfig(
+            algorithm=Algorithm.SEMI_GLOBAL, ranking="knn", n_outliers=4,
+            k=4, window_length=3, hop_diameter=2,
+        ),
+        node_count=16,
+        rounds=3,
+        seed=seed,
+    )
+
+
+def sweep_scenario(seed: int = 0) -> ScenarioConfig:
+    return ScenarioConfig(
+        detection=DetectionConfig(window_length=3), node_count=6, rounds=4,
+        seed=seed,
+    )
+
+
+#: Fault-free transcripts, computed once and shared across chaos variants.
+_BASELINES: Dict[ScenarioConfig, str] = {}
+
+
+def golden(scenario: ScenarioConfig) -> str:
+    if scenario not in _BASELINES:
+        _BASELINES[scenario] = run_scenario(scenario).canonical_json()
+    return _BASELINES[scenario]
+
+
+# ----------------------------------------------------------------------
+# Chaos plan parsing
+# ----------------------------------------------------------------------
+class TestChaosPlan:
+    def test_parse_round_trips_each_entry(self):
+        plan = ChaosPlan.parse(
+            "kill:shard1@epoch3, hang:worker2@task5 ,kill:worker0"
+        )
+        assert [a.describe() for a in plan.pending()] == [
+            "kill:shard1@epoch3",
+            "hang:worker2@task5",
+            "kill:worker0@task1",  # trigger count defaults to 1
+        ]
+
+    def test_take_fires_each_action_exactly_once(self):
+        plan = ChaosPlan.parse("kill:shard1@epoch3")
+        assert plan.take("shard", 1, 2) is None
+        assert plan.take("worker", 1, 3) is None
+        action = plan.take("shard", 1, 3)
+        assert action is not None and action.kind == "kill"
+        assert plan.take("shard", 1, 3) is None  # consumed
+        assert not plan and plan.fired == [action]
+
+    def test_has_filters_by_target_and_kind(self):
+        plan = ChaosPlan.parse("hang:shard0@epoch2")
+        assert plan.has("shard") and plan.has("shard", "hang")
+        assert not plan.has("shard", "kill") and not plan.has("worker")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:shard1@epoch3",  # unknown fault kind
+            "kill:shard1@task3",  # shards count epochs, not tasks
+            "kill:worker1@epoch3",  # workers count tasks, not epochs
+            "kill:shard1@epoch0",  # trigger counts are 1-based
+            "kill shard1",  # malformed
+            " , ",  # empty
+        ],
+    )
+    def test_bad_specifications_are_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint serialization + store
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_put_get_round_trip_is_content_addressed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = store.put(b"snapshot bytes")
+        assert store.get(key) == b"snapshot bytes"
+        assert store.put(b"snapshot bytes") == key  # idempotent
+        assert key in store and len(store) == 1
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            CheckpointStore(tmp_path).get("0" * 64)
+
+    def test_corrupt_snapshot_is_quarantined_not_served(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = store.put(b"good bytes")
+        store.path_for(key).write_bytes(b"rotted bytes")
+        with pytest.raises(CheckpointError, match="digest"):
+            store.get(key)
+        # The bad file is moved aside, observable, and no longer a key.
+        assert store.path_for(key).with_suffix(".corrupt").exists()
+        assert key not in store
+
+    def test_policy_validates_interval_and_skips_epoch_zero(self, tmp_path):
+        policy = CheckpointPolicy(directory=str(tmp_path), every=3)
+        assert [e for e in range(10) if policy.due(e)] == [3, 6, 9]
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(directory=str(tmp_path), every=0)
+
+
+class TestCheckpointSerialization:
+    def test_capture_restore_round_trip_with_meta(self):
+        state, meta = restore_state(
+            capture_state({"heap": [1, 2, 3]}, meta={"epoch": 7})
+        )
+        assert state == {"heap": [1, 2, 3]} and meta == {"epoch": 7}
+
+    def test_foreign_bytes_are_rejected(self):
+        with pytest.raises(CheckpointError, match="magic"):
+            restore_state(b"PNG\n{}\nblob")
+
+    def test_unsupported_schema_is_rejected(self):
+        payload = capture_state("state")
+        magic, header, blob = payload.split(b"\n", 2)
+        header = json.dumps({"schema": 999, "meta": {}}).encode()
+        with pytest.raises(CheckpointError, match="schema"):
+            restore_state(magic + b"\n" + header + b"\n" + blob)
+
+    def test_unpicklable_state_is_a_checkpoint_error(self):
+        with pytest.raises(CheckpointError, match="not checkpointable"):
+            capture_state(lambda: None)
+
+    def test_running_simulator_refuses_to_checkpoint(self):
+        """Capture is only legal between events: a half-fired callback is
+        not reconstructible, so the simulator itself enforces quiescence."""
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: pickle.dumps(simulator))
+        with pytest.raises(SimulationError, match="quiescent"):
+            simulator.run()
+        # And through the checkpoint layer the refusal surfaces wrapped.
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: capture_state(simulator))
+        with pytest.raises(CheckpointError, match="quiescent"):
+            simulator.run()
+
+
+class TestRoundTripProperties:
+    """Freeze a deployment mid-run, thaw it, finish: byte-identical.
+
+    Hypothesis drives the interruption point across the full observation
+    interval; the parametrisation covers every registered metric space, so
+    the snapshot layer is pinned against each detector configuration the
+    paper's experiments use.
+    """
+
+    _cache: Dict[Tuple[str, Tuple], Tuple] = {}
+
+    def _fixtures(self, metric, metric_params):
+        cache_key = (metric, metric_params)
+        if cache_key not in self._cache:
+            scenario = metric_scenario(metric, metric_params)
+            dataset = build_intel_lab_dataset(scenario.dataset_config())
+            baseline = run_scenario(scenario, dataset).canonical_json()
+            self._cache[cache_key] = (scenario, dataset, baseline)
+        return self._cache[cache_key]
+
+    @pytest.mark.parametrize(
+        "metric,metric_params",
+        [(metric, params) for _label, metric, params in METRIC_VARIANTS],
+        ids=[label for label, _, _ in METRIC_VARIANTS],
+    )
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(cut=st.floats(min_value=0.02, max_value=0.98))
+    def test_interrupted_run_resumes_byte_identical(
+        self, metric, metric_params, cut
+    ):
+        scenario, dataset, baseline = self._fixtures(metric, metric_params)
+        deployment = build_deployment(scenario, dataset)
+        schedule_workload(deployment)
+        deployment.simulator.run(until=cut * scenario.duration)
+
+        payload = capture_state(deployment, meta={"cut": cut})
+        restored, meta = restore_state(payload)
+        assert meta == {"cut": cut}
+        # The original must not share mutable state with the restored copy.
+        assert restored is not deployment
+        restored.simulator.run()
+        assert collect_result(restored).canonical_json() == baseline
+
+
+# ----------------------------------------------------------------------
+# Supervised sharded execution
+# ----------------------------------------------------------------------
+class TestShardRecovery:
+    def recovery(self, tmp_path, **overrides) -> RecoveryConfig:
+        base = dict(
+            checkpoint_every=2,
+            directory=str(tmp_path),
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        )
+        base.update(overrides)
+        return RecoveryConfig(**base)
+
+    def test_killed_shard_resumes_from_checkpoint_byte_identical(
+        self, tmp_path
+    ):
+        scenario = shard_scenario()
+        stats: dict = {}
+        result = run_scenario(
+            scenario,
+            shards=2,
+            recovery=self.recovery(tmp_path),
+            chaos=ChaosPlan.parse("kill:shard1@epoch5"),
+            recovery_stats=stats,
+        )
+        assert result.canonical_json() == golden(scenario)
+        assert stats["enabled"] and stats["chaos"] == ["kill:shard1@epoch5"]
+        assert stats["chaos_pending"] == []
+        (restart,) = stats["restarts"]
+        assert restart["shard"] == 1 and restart["attempt"] == 1
+        # Kill at grant 5 with snapshots every 2 epochs: the worker resumes
+        # from epoch 4's snapshot, not from genesis.
+        assert restart["resumed_from_epoch"] == 4
+        assert restart["replayed_epochs"] >= 1
+        assert len(CheckpointStore(tmp_path)) >= 1
+
+    def test_kill_before_first_checkpoint_replays_from_genesis(
+        self, tmp_path
+    ):
+        scenario = shard_scenario()
+        stats: dict = {}
+        result = run_scenario(
+            scenario,
+            shards=2,
+            recovery=self.recovery(tmp_path, checkpoint_every=10_000),
+            chaos=ChaosPlan.parse("kill:shard0@epoch3"),
+            recovery_stats=stats,
+        )
+        assert result.canonical_json() == golden(scenario)
+        (restart,) = stats["restarts"]
+        assert restart["resumed_from_epoch"] == 0
+        # Kill fires right after the 3rd grant; whether the worker finished
+        # that epoch's barrier before the signal landed is a process race,
+        # so the journal replays either 3 or 4 epochs -- both from genesis.
+        assert restart["replayed_epochs"] in (3, 4)
+
+    def test_hung_shard_is_detected_and_restarted_byte_identical(
+        self, tmp_path
+    ):
+        scenario = shard_scenario()
+        stats: dict = {}
+        result = run_scenario(
+            scenario,
+            shards=2,
+            recovery=self.recovery(tmp_path, heartbeat_timeout=1.0),
+            chaos=ChaosPlan.parse("hang:shard0@epoch4"),
+            recovery_stats=stats,
+        )
+        assert result.canonical_json() == golden(scenario)
+        (restart,) = stats["restarts"]
+        assert "silent" in restart["reason"]
+
+    def test_shard_chaos_auto_enables_recovery(self, tmp_path):
+        scenario = shard_scenario()
+        stats: dict = {}
+        result = run_scenario(
+            scenario,
+            shards=2,
+            chaos=ChaosPlan.parse("kill:shard1@epoch3"),
+            recovery_stats=stats,
+        )
+        assert result.canonical_json() == golden(scenario)
+        assert stats["enabled"] and len(stats["restarts"]) == 1
+
+    def test_exhausted_restart_budget_is_fatal(self, tmp_path):
+        with pytest.raises(SimulationError, match="restart budget"):
+            run_scenario(
+                shard_scenario(),
+                shards=2,
+                recovery=self.recovery(tmp_path, max_restarts=0),
+                chaos=ChaosPlan.parse("kill:shard1@epoch3"),
+            )
+
+    def test_recovery_without_shards_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="shards"):
+            run_scenario(shard_scenario(), recovery=self.recovery(tmp_path))
+
+    def test_hang_chaos_without_heartbeat_timeout_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="heartbeat"):
+            run_scenario(
+                shard_scenario(),
+                shards=2,
+                recovery=self.recovery(tmp_path, heartbeat_timeout=None),
+                chaos=ChaosPlan.parse("hang:shard0@epoch2"),
+            )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"checkpoint_every": 0},
+            {"max_restarts": -1},
+            {"backoff_base": -0.1},
+            {"heartbeat_timeout": 0.0},
+            {"scenario_timeout": -1.0},
+            {"max_retries": -1},
+        ],
+    )
+    def test_recovery_config_validation(self, tmp_path, overrides):
+        with pytest.raises(ConfigurationError):
+            self.recovery(tmp_path, **overrides)
+
+    def test_backoff_grows_exponentially_to_the_cap(self, tmp_path):
+        recovery = self.recovery(
+            tmp_path, backoff_base=0.05, backoff_cap=0.15
+        )
+        assert [recovery.backoff(a) for a in (1, 2, 3, 4)] == pytest.approx(
+            [0.05, 0.10, 0.15, 0.15]
+        )
+
+
+# ----------------------------------------------------------------------
+# Supervised sweep execution
+# ----------------------------------------------------------------------
+def _always_crashes(scenario, shards=None, recovery=None, chaos=None):
+    raise ValueError(f"deterministic bug for seed {scenario.seed}")
+
+
+class TestSweepRecovery:
+    def test_killed_pool_worker_retries_to_an_identical_store(
+        self, tmp_path
+    ):
+        scenarios = [sweep_scenario(seed) for seed in range(4)]
+        clean = ResultStore(tmp_path / "clean")
+        run_scenarios(scenarios, workers=2, store=clean)
+
+        clear_memory()
+        chaotic = ResultStore(tmp_path / "chaotic")
+        run_scenarios(
+            scenarios,
+            workers=2,
+            store=chaotic,
+            chaos=ChaosPlan.parse("kill:worker0@task1"),
+        )
+
+        def canonical(store: ResultStore) -> Dict[str, str]:
+            return {
+                path.name: SimulationResult.from_json_dict(
+                    json.loads(path.read_text())
+                ).canonical_json()
+                for path in store.entries()
+            }
+
+        assert canonical(chaotic) == canonical(clean)
+        assert len(chaotic) == len(scenarios)
+
+    def test_hung_pool_worker_is_timed_out_and_work_completes(self, tmp_path):
+        scenarios = [sweep_scenario(seed) for seed in range(3)]
+        store = ResultStore(tmp_path)
+        results = run_scenarios(
+            scenarios,
+            workers=2,
+            store=store,
+            recovery=RecoveryConfig(scenario_timeout=30.0),
+            chaos=ChaosPlan.parse("hang:worker1@task1"),
+        )
+        assert len(results) == len(scenarios) == len(store)
+
+    def test_poison_scenario_is_quarantined_not_wedged(
+        self, tmp_path, monkeypatch
+    ):
+        # The executor resolves its worker as a module global at call time,
+        # and the fork-started pool inherits the patched module.
+        monkeypatch.setattr(
+            executor, "run_scenario_worker", _always_crashes
+        )
+        scenarios = [sweep_scenario(seed) for seed in range(2)]
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError, match="poison"):
+            run_scenarios(
+                scenarios,
+                workers=2,
+                store=store,
+                recovery=RecoveryConfig(max_retries=1),
+            )
+        markers = store.poison_entries()
+        assert len(markers) == len(scenarios)
+        payload = json.loads(markers[0].read_text())
+        assert payload["attempts"] == 2  # first try + one retry
+        assert "deterministic bug" in payload["reason"]
+        # Poison markers never pollute the result-entry namespace.
+        assert store.entries() == []
+
+    def test_worker_hang_chaos_requires_a_scenario_timeout(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            run_scenarios(
+                [sweep_scenario()],
+                workers=2,
+                chaos=ChaosPlan.parse("hang:worker0"),
+            )
+
+
+# ----------------------------------------------------------------------
+# Result-store hardening (satellite)
+# ----------------------------------------------------------------------
+class TestResultStoreHardening:
+    def test_undecodable_entry_is_quarantined_aside(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = sweep_scenario()
+        path = store.path_for(scenario)
+        store.root.mkdir(parents=True, exist_ok=True)
+        path.write_text("this is not json {")
+        assert store.get(scenario) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_wrong_scenario_entry_is_a_miss_but_not_quarantined(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        target = sweep_scenario(seed=0)
+        other = run_scenario(sweep_scenario(seed=9))
+        store.root.mkdir(parents=True, exist_ok=True)
+        path = store.path_for(target)
+        path.write_text(json.dumps(other.to_json_dict(), sort_keys=True))
+        assert store.get(target) is None
+        assert path.exists()  # healthy file, just not an answer to this key
+
+    def test_put_replaces_quarantined_entries_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = sweep_scenario()
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for(scenario).write_text("garbage")
+        assert store.get(scenario) is None
+        result = run_scenario(scenario)
+        store.put(result)
+        fetched = store.get(scenario)
+        assert fetched is not None
+        assert fetched.canonical_json() == result.canonical_json()
+        assert os.path.exists(
+            store.path_for(scenario).with_suffix(".corrupt")
+        )
