@@ -62,6 +62,14 @@ costs::
     repro-wsn run --nodes 64 --rounds 6 --shards 2 --chaos 'kill:shard1@epoch3'
     repro-wsn sweep figure4 --workers 4 --chaos 'kill:worker0@task2'
     repro-wsn bench --recovery --quick --check
+
+Render the report site from a populated result store (store-only: nothing
+is simulated at report time), and regression-diff the current benchmark
+artifacts against the committed perf trajectory::
+
+    repro-wsn report --store results/store --out site --format both
+    repro-wsn report --store results/store --out site \\
+        --diff results/BENCH_trajectory.json --bench-dir bench-artifacts
 """
 
 from __future__ import annotations
@@ -436,6 +444,76 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds one scenario may run in a pool worker before the "
         "worker is killed and the scenario retried (default: no limit)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the markdown/HTML report site from a result store "
+        "(store-only: nothing is simulated)",
+    )
+    report.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory the pages are rendered from "
+        "(default: REPRO_RESULT_STORE)",
+    )
+    report.add_argument(
+        "--out",
+        metavar="DIR",
+        default="site",
+        help="output directory for the site (default: site)",
+    )
+    report.add_argument(
+        "--format",
+        choices=["md", "html", "both"],
+        default="md",
+        help="page format(s) to render (default: md)",
+    )
+    report.add_argument(
+        "--profile",
+        choices=["tiny", "quick", "paper"],
+        default=None,
+        help="experiment profile the store was swept at "
+        "(default: REPRO_BENCH_PROFILE or quick)",
+    )
+    report.add_argument(
+        "--families",
+        metavar="CSV",
+        default=None,
+        help="comma-separated sweep-family names "
+        "(default: every registered family)",
+    )
+    report.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default="results",
+        help="directory holding the BENCH_*.json artifacts the trajectory "
+        "page and --diff read (default: results)",
+    )
+    report.add_argument(
+        "--git-sha",
+        metavar="SHA",
+        default=None,
+        help="commit to stamp the pages and trajectory entries with "
+        "(default: GITHUB_SHA or `git rev-parse HEAD`)",
+    )
+    report.add_argument(
+        "--diff",
+        metavar="BASE",
+        default=None,
+        help="regression-diff the --bench-dir metrics against BASE (a "
+        "BENCH_trajectory.json, whose newest entry is used, or a "
+        "directory of committed BENCH_*.json artifacts); exits 1 when a "
+        "gated metric regressed beyond its threshold",
+    )
+    report.add_argument(
+        "--update-trajectory",
+        metavar="FILE",
+        default=None,
+        help="append the --bench-dir metrics to FILE as a new trajectory "
+        "entry stamped with the resolved commit (an entry with the same "
+        "commit is replaced, so reruns are idempotent)",
     )
     return parser
 
@@ -942,6 +1020,125 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_report(args: argparse.Namespace) -> int:
+    # Importing the experiments package registers every sweep family.
+    from . import experiments
+    from .core.errors import ExperimentError
+    from .orchestrator import ResultStore, all_families, default_store, get_family
+    from .report import (
+        append_entry,
+        baseline_metrics,
+        build_site,
+        diff_metrics,
+        extract_metrics,
+        load_bench_artifacts,
+        new_entry,
+        resolve_git_sha,
+    )
+
+    try:
+        profile = (
+            experiments.profile_by_name(args.profile)
+            if args.profile
+            else experiments.active_profile()
+        )
+        store = ResultStore(args.store) if args.store else default_store()
+        # Trajectory operations need only the bench artifacts, so a diff
+        # or append may run store-less (CI's perf-smoke job does).
+        bench_only = store is None and bool(
+            args.diff or args.update_trajectory
+        )
+        if store is None and not bench_only:
+            raise ExperimentError(
+                "a result store is required: pass --store DIR or set "
+                "REPRO_RESULT_STORE"
+            )
+        if args.families:
+            families = [
+                get_family(name.strip())
+                for name in args.families.split(",")
+                if name.strip()
+            ]
+            if not families:
+                raise ExperimentError("--families named no families")
+        else:
+            families = list(all_families())
+        bench_dir = Path(args.bench_dir)
+        bench = load_bench_artifacts(bench_dir) if bench_dir.is_dir() else {}
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # The trajectory artifact lives next to the measurements but is the
+    # history, not a measurement -- split it out for the trajectory page.
+    trajectory = bench.pop("trajectory", None)
+    git_sha = resolve_git_sha(args.git_sha)
+    formats = ("md", "html") if args.format == "both" else (args.format,)
+
+    if bench_only:
+        print(
+            f"report: no result store -- skipping the site build "
+            f"(bench-only; commit {git_sha})"
+        )
+    else:
+        try:
+            build = build_site(
+                store,
+                profile,
+                families,
+                args.out,
+                formats=formats,
+                git_sha=git_sha,
+                bench=bench or None,
+                trajectory=trajectory,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        health = build.health
+        print(
+            f"report: {len(build.pages)} page(s) and "
+            f"{len(build.data_files)} data file(s) under {build.out_dir} "
+            f"({', '.join(formats)}; commit {git_sha})"
+        )
+        print(
+            f"store: {health.entries} entries, {health.corrupt} corrupt, "
+            f"{health.poison} poisoned"
+        )
+        for status in build.statuses:
+            print(
+                f"  {status.name:20s} {status.present:4d}/{status.total:<4d} "
+                f"{status.status}"
+            )
+        if build.skipped:
+            print(
+                f"skipped (incomplete in store): {', '.join(build.skipped)}",
+                file=sys.stderr,
+            )
+
+    try:
+        if args.update_trajectory:
+            metrics = extract_metrics(bench)
+            payload = append_entry(
+                args.update_trajectory, new_entry(metrics, git_sha)
+            )
+            print(
+                f"trajectory: {args.update_trajectory} now holds "
+                f"{len(payload['entries'])} entr(ies); newest {git_sha} "
+                f"with {len(metrics)} metric(s)"
+            )
+        if args.diff:
+            label, base = baseline_metrics(args.diff)
+            diff = diff_metrics(base, extract_metrics(bench), base_label=label)
+            print()
+            print(diff.render())
+            if not diff.ok:
+                return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-wsn`` console script."""
     parser = build_parser()
@@ -952,6 +1149,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "report":
+        return _command_report(args)
     return _command_figure(args)
 
 

@@ -216,6 +216,19 @@ class FigureResult:
             self.x_label, self.x_values, self.series, precision=precision, title=title
         )
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the report site's ``data/*.json`` files)."""
+        return {
+            "figure": self.figure,
+            "x_label": self.x_label,
+            "x_values": [float(x) for x in self.x_values],
+            "series": {
+                name: [float(v) for v in values]
+                for name, values in self.series.items()
+            },
+            "notes": self.notes,
+        }
+
     def series_for(self, name: str) -> List[float]:
         try:
             return self.series[name]

@@ -288,6 +288,7 @@ def run_scaling_shards(profile: ExperimentProfile) -> FigureResult:
     import time as _time
 
     from ..core.errors import ExperimentError
+    from ..orchestrator import store_only_active
     from ..wsn.runner import run_scenario
 
     window = _stress_window(profile)
@@ -297,6 +298,29 @@ def run_scaling_shards(profile: ExperimentProfile) -> FigureResult:
         if label.startswith("Semi-global")
     )
     counts = scaling_shard_counts(profile)
+    if store_only_active():
+        # Sharded timing is a *live* measurement (sharding is an execution
+        # knob, not a scenario field, so it bypasses the result store); in
+        # store-only mode -- the report pipeline proving its pages come
+        # from the store alone -- only the cached single-process wall-clock
+        # can be reported.
+        single = [
+            run_many([_scaling_scenario(profile, semi_global, nodes)])[0]
+            for nodes in counts
+        ]
+        return FigureResult(
+            figure="Scaling: sharded execution wall-clock [s]",
+            x_label="nodes",
+            x_values=[float(n) for n in counts],
+            series={
+                "single-process": [r.wallclock_seconds for r in single]
+            },
+            notes=(
+                f"store-only mode: sharded variants skipped (they re-execute "
+                f"live); single-process times are the cached run's own "
+                f"wall-clock, profile={profile.name}"
+            ),
+        )
     wallclock: Dict[str, List[float]] = {"single-process": []}
     for shards in SCALING_SHARD_COUNTS:
         wallclock[f"shards={shards}"] = []
@@ -886,22 +910,40 @@ _FAMILIES = (
         name="figure9",
         description="Semi-global detection: TX/RX energy vs reported "
                     "outlier count n",
-        build=lambda profile: outlier_count_scenarios(profile=profile),
-        report=lambda profile: _flatten(run_figure9(profile)),
+        # Window pinned to the benchmark suite's choice so the family's
+        # store-rendered tables stay byte-identical to results/figure9.txt.
+        build=lambda profile: outlier_count_scenarios(
+            window=profile.window_sizes[-1], profile=profile
+        ),
+        report=lambda profile: _flatten(
+            run_figure9(profile, window=profile.window_sizes[-1])
+        ),
     ),
     SweepFamily(
         name="accuracy",
         description="Convergence accuracy per algorithm, with and without "
                     "packet loss (Section 7.1)",
-        build=accuracy_scenarios,
-        report=lambda profile: _flatten(run_accuracy_experiment(profile)),
+        # Window pinned to the benchmark suite's choice (see
+        # benchmarks/test_bench_accuracy.py) for the results/*.txt round-trip.
+        build=lambda profile: accuracy_scenarios(
+            profile, window=profile.window_sizes[0]
+        ),
+        report=lambda profile: _flatten(
+            run_accuracy_experiment(profile, window=profile.window_sizes[0])
+        ),
     ),
     SweepFamily(
         name="imbalance",
         description="Traffic concentration around the collection point "
                     "(Section 8)",
-        build=imbalance_scenarios,
-        report=lambda profile: _flatten(run_imbalance_experiment(profile)),
+        # Window pinned to the benchmark suite's choice (see
+        # benchmarks/test_bench_imbalance.py) for the results/*.txt round-trip.
+        build=lambda profile: imbalance_scenarios(
+            profile, window=profile.window_sizes[0]
+        ),
+        report=lambda profile: _flatten(
+            run_imbalance_experiment(profile, window=profile.window_sizes[0])
+        ),
     ),
     SweepFamily(
         name="example51",

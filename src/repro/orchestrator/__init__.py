@@ -14,12 +14,14 @@ simulation runs.  This package turns that structure into infrastructure:
 """
 
 from .executor import (
+    STORE_ONLY_ENV,
     clear_memory,
     default_store,
     default_workers,
     memory_cache,
     run_one,
     run_scenarios,
+    store_only_active,
 )
 from .registry import (
     SweepFamily,
@@ -27,8 +29,14 @@ from .registry import (
     family_names,
     get_family,
     register,
+    unregister,
 )
-from .store import ResultStore, canonical_scenario_json, scenario_key
+from .store import (
+    ResultStore,
+    StoreHealth,
+    canonical_scenario_json,
+    scenario_key,
+)
 
 __all__ = [
     "run_scenarios",
@@ -37,11 +45,15 @@ __all__ = [
     "memory_cache",
     "default_workers",
     "default_store",
+    "store_only_active",
+    "STORE_ONLY_ENV",
     "ResultStore",
+    "StoreHealth",
     "canonical_scenario_json",
     "scenario_key",
     "SweepFamily",
     "register",
+    "unregister",
     "get_family",
     "family_names",
     "all_families",

@@ -55,6 +55,8 @@ __all__ = [
     "memory_cache",
     "default_workers",
     "default_store",
+    "store_only_active",
+    "STORE_ONLY_ENV",
 ]
 
 #: Events delivered to the ``progress`` callback of :func:`run_scenarios`.
@@ -116,6 +118,20 @@ def default_store() -> Optional[ResultStore]:
     """Store from ``REPRO_RESULT_STORE`` (default: no disk tier)."""
     root = os.environ.get("REPRO_RESULT_STORE", "").strip()
     return ResultStore(root) if root else None
+
+
+#: When this environment variable is set (to anything but ``""``/``"0"``),
+#: the executor refuses to *simulate*: every requested scenario must resolve
+#: from the memory or disk tier, and a miss raises instead of computing.
+#: This is what lets the report pipeline prove that a rendered table was
+#: regenerated "from the store alone" -- under this flag, a page that would
+#: have needed a simulation fails loudly rather than quietly rerunning one.
+STORE_ONLY_ENV = "REPRO_STORE_ONLY"
+
+
+def store_only_active() -> bool:
+    """Whether the executor is currently forbidden from simulating."""
+    return os.environ.get(STORE_ONLY_ENV, "").strip() not in ("", "0")
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +240,17 @@ def run_scenarios(
         done += 1
         if progress is not None:
             progress("computed", scenario, done, total)
+
+    if missing and store_only_active():
+        labels = ", ".join(
+            f"{scenario.label()} seed={scenario.seed}" for scenario in missing[:3]
+        )
+        suffix = ", ..." if len(missing) > 3 else ""
+        raise ExperimentError(
+            f"store-only mode ({STORE_ONLY_ENV}): {len(missing)} scenario(s) "
+            f"missing from the cache tiers would need simulating: "
+            f"{labels}{suffix}"
+        )
 
     pool_chaos = chaos is not None and chaos.has("worker")
     timed = recovery is not None and recovery.scenario_timeout is not None

@@ -31,7 +31,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from ..core.errors import ExperimentError
 from ..wsn.scenario import ScenarioConfig
 
-__all__ = ["SweepFamily", "register", "get_family", "family_names", "all_families"]
+__all__ = [
+    "SweepFamily",
+    "register",
+    "unregister",
+    "get_family",
+    "family_names",
+    "all_families",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,16 @@ def register(family: SweepFamily, replace: bool = False) -> SweepFamily:
         raise ExperimentError(f"sweep family {family.name!r} already registered")
     _FAMILIES[family.name] = family
     return family
+
+
+def unregister(name: str) -> Optional[SweepFamily]:
+    """Remove ``name`` from the registry (and return it), if registered.
+
+    Exists for callers that register scratch families -- fixture stores in
+    tests, ad-hoc one-off grids -- and must not leave them behind for later
+    registry walks (``sweep --list``, whole-registry reports).
+    """
+    return _FAMILIES.pop(name, None)
 
 
 def get_family(name: str) -> SweepFamily:

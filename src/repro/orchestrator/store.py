@@ -48,6 +48,7 @@ import hashlib
 import json
 import logging
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
@@ -58,6 +59,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "canonical_scenario_json",
     "scenario_key",
+    "StoreHealth",
     "ResultStore",
 ]
 
@@ -101,6 +103,28 @@ def scenario_key(scenario: ScenarioConfig) -> str:
     store filename stem)."""
     keyed = f'{{"schema":{STORE_SCHEMA_VERSION},"scenario":{canonical_scenario_json(scenario)}}}'
     return hashlib.sha256(keyed.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreHealth:
+    """Counts of everything a store directory holds besides healthy entries.
+
+    Quarantine is useless if nothing reads it: ``get`` moves undecodable
+    entries aside to ``<key>.corrupt`` and the supervised sweep executor
+    records ``<key>.poison`` markers, but until a reader surfaces those
+    counts they are invisible except to someone listing the directory by
+    hand.  ``ResultStore.health()`` returns this snapshot so reports (and
+    tests) can assert that nothing was silently lost.
+    """
+
+    entries: int
+    corrupt: int
+    poison: int
+
+    @property
+    def quarantined(self) -> int:
+        """Everything set aside rather than served (corrupt + poison)."""
+        return self.corrupt + self.poison
 
 
 class ResultStore:
@@ -213,6 +237,20 @@ class ResultStore:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.poison"))
+
+    def corrupt_entries(self) -> List[Path]:
+        """Paths of every entry :meth:`get` quarantined as undecodable."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.corrupt"))
+
+    def health(self) -> StoreHealth:
+        """Snapshot of entry / quarantine counts (see :class:`StoreHealth`)."""
+        return StoreHealth(
+            entries=len(self.entries()),
+            corrupt=len(self.corrupt_entries()),
+            poison=len(self.poison_entries()),
+        )
 
     def __contains__(self, scenario: ScenarioConfig) -> bool:  # type: ignore[override]
         return self.get(scenario) is not None

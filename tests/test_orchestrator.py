@@ -228,6 +228,86 @@ class TestStoreRobustness:
 
 
 # ----------------------------------------------------------------------
+# Store health (quarantine visibility)
+# ----------------------------------------------------------------------
+class TestStoreHealth:
+    def test_empty_store_is_healthy(self, tmp_path):
+        health = ResultStore(tmp_path / "never-created").health()
+        assert (health.entries, health.corrupt, health.poison) == (0, 0, 0)
+        assert health.quarantined == 0
+
+    def test_quarantined_corruption_is_counted(self, tmp_path):
+        """A corrupt entry must not vanish: the miss moves it aside and
+        ``health()`` surfaces it, instead of the recompute silently
+        overwriting the evidence."""
+        store = ResultStore(tmp_path)
+        scenario = tiny_scenario()
+        run_one(scenario, store=store)
+        store.path_for(scenario).write_text("this is not json {")
+
+        assert store.get(scenario) is None
+        health = store.health()
+        assert health.entries == 0  # the bad file was moved, not served
+        assert health.corrupt == 1
+        assert health.quarantined == 1
+        assert store.corrupt_entries() == [
+            store.path_for(scenario).with_suffix(".corrupt")
+        ]
+
+    def test_recompute_heals_the_entry_but_keeps_the_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = tiny_scenario()
+        run_one(scenario, store=store)
+        store.path_for(scenario).write_text("garbage")
+        assert store.get(scenario) is None
+        clear_memory()
+        run_one(scenario, store=store)
+
+        health = store.health()
+        assert health.entries == 1
+        assert health.corrupt == 1  # the fault stays observable
+
+    def test_poison_markers_are_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = tiny_scenario(seed=11)
+        store.record_poison(scenario, reason="worker crashed", attempts=3)
+        health = store.health()
+        assert health.poison == 1
+        assert health.entries == 0  # markers never match the entry glob
+        assert health.quarantined == 1
+
+
+# ----------------------------------------------------------------------
+# Store-only mode (the report pipeline's no-simulation contract)
+# ----------------------------------------------------------------------
+class TestStoreOnly:
+    def test_miss_raises_instead_of_simulating(self, tmp_path, monkeypatch):
+        from repro.core.errors import ExperimentError
+
+        monkeypatch.setenv(executor_module.STORE_ONLY_ENV, "1")
+        with pytest.raises(ExperimentError, match="store-only"):
+            run_scenarios([tiny_scenario()], store=ResultStore(tmp_path))
+
+    def test_warm_tiers_still_serve(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        scenario = tiny_scenario()
+        cold = run_scenarios([scenario], store=store)[0]
+        clear_memory()
+
+        monkeypatch.setenv(executor_module.STORE_ONLY_ENV, "1")
+        warm = run_scenarios([scenario], store=store)[0]
+        assert warm.canonical_json() == cold.canonical_json()
+
+    def test_disabled_values_fall_through(self, monkeypatch):
+        monkeypatch.setenv(executor_module.STORE_ONLY_ENV, "0")
+        assert not executor_module.store_only_active()
+        monkeypatch.setenv(executor_module.STORE_ONLY_ENV, "")
+        assert not executor_module.store_only_active()
+        monkeypatch.delenv(executor_module.STORE_ONLY_ENV, raising=False)
+        assert not executor_module.store_only_active()
+
+
+# ----------------------------------------------------------------------
 # Warm-store behaviour
 # ----------------------------------------------------------------------
 class TestWarmStore:
